@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks: per-element operator costs.
+//!
+//! These complement the figure harness (which measures end-to-end shapes)
+//! with statistically solid per-element numbers: insert cost per LMerge
+//! variant, stable-processing cost, and reconstitution overhead. Kept short
+//! so `cargo bench --workspace` completes in a couple of minutes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmerge_bench::{variants, VariantKind};
+use lmerge_gen::{generate, GenConfig};
+use lmerge_temporal::reconstitute::Reconstituter;
+use lmerge_temporal::{Element, StreamId, Value};
+
+fn bench_inserts(c: &mut Criterion) {
+    let cfg = GenConfig {
+        num_events: 10_000,
+        disorder: 0.0,
+        disorder_window_ms: 0,
+        stable_freq: 0.01,
+        event_duration_ms: 1_000,
+        max_gap_ms: 20,
+        payload_len: 100,
+        ..Default::default()
+    };
+    let stream = generate(&cfg).elements;
+
+    let mut group = c.benchmark_group("merge_10k_ordered_elements");
+    group.sample_size(20);
+    for v in variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, v| {
+            b.iter(|| {
+                let mut lm = v.build(2);
+                let mut out = Vec::new();
+                for e in &stream {
+                    lm.push(StreamId(0), black_box(e), &mut out);
+                    out.clear();
+                }
+                lm.stats().inserts_out
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_adjust_heavy(c: &mut Criterion) {
+    // Insert + two adjusts per event: the revision-heavy R3/R4 regime.
+    let mut elems: Vec<Element<Value>> = Vec::new();
+    for i in 0..5_000i64 {
+        let p = Value::synthetic((i % 400) as i32, 100);
+        elems.push(Element::insert(p.clone(), i, i + 100));
+        elems.push(Element::adjust(p.clone(), i, i + 100, i + 50));
+        elems.push(Element::adjust(p, i, i + 50, i + 75));
+        if i % 100 == 99 {
+            elems.push(Element::stable(i - 100));
+        }
+    }
+    let mut group = c.benchmark_group("merge_adjust_heavy");
+    group.sample_size(20);
+    for v in [VariantKind::R3Plus, VariantKind::R3Minus, VariantKind::R4] {
+        group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, v| {
+            b.iter(|| {
+                let mut lm = v.build(1);
+                let mut out = Vec::new();
+                for e in &elems {
+                    lm.push(StreamId(0), black_box(e), &mut out);
+                    out.clear();
+                }
+                lm.stats().adjusts_out
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stable_processing(c: &mut Criterion) {
+    // Cost of one stable() over a populated in2t index.
+    let mut group = c.benchmark_group("r3_stable_over_live_index");
+    group.sample_size(20);
+    for w in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, w| {
+            b.iter(|| {
+                let mut lm = VariantKind::R3Plus.build(1);
+                let mut out = Vec::new();
+                for i in 0..*w as i64 {
+                    lm.push(
+                        StreamId(0),
+                        &Element::insert(Value::bare(i as i32), i, i + 5),
+                        &mut out,
+                    );
+                    out.clear();
+                }
+                lm.push(StreamId(0), &Element::stable(2 * *w as i64), &mut out);
+                out.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconstitution(c: &mut Criterion) {
+    let cfg = GenConfig {
+        num_events: 10_000,
+        payload_len: 100,
+        event_duration_ms: 1_000,
+        ..Default::default()
+    };
+    let stream = generate(&cfg).elements;
+    let mut group = c.benchmark_group("reconstitute_10k");
+    group.sample_size(20);
+    group.bench_function("tdb", |b| {
+        b.iter(|| {
+            let mut r: Reconstituter<Value> = Reconstituter::new();
+            for e in &stream {
+                r.apply(black_box(e)).unwrap();
+            }
+            r.tdb().len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inserts,
+    bench_adjust_heavy,
+    bench_stable_processing,
+    bench_reconstitution
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Policy ablation for the design choices of Section V-A.
+
+fn main() {
+    lmerge_bench::figs::ablation::report().emit();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10 result. See `lmerge_bench::figs::fig10`.
+
+fn main() {
+    lmerge_bench::figs::fig10::report().emit();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig2 result. See `lmerge_bench::figs::fig2`.
+
+fn main() {
+    lmerge_bench::figs::fig2::report().emit();
+}

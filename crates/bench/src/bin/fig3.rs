@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig3 result. See `lmerge_bench::figs::fig3`.
+
+fn main() {
+    lmerge_bench::figs::fig3::report().emit();
+}

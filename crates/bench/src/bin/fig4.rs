@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig4 result. See `lmerge_bench::figs::fig4`.
+
+fn main() {
+    lmerge_bench::figs::fig4::report().emit();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig5 result. See `lmerge_bench::figs::fig5`.
+
+fn main() {
+    lmerge_bench::figs::fig5::report().emit();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig6 result. See `lmerge_bench::figs::fig6`.
+
+fn main() {
+    lmerge_bench::figs::fig6::report().emit();
+}

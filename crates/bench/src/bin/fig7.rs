@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7 result. See `lmerge_bench::figs::fig7`.
+
+fn main() {
+    lmerge_bench::figs::fig7::report().emit();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig8 result. See `lmerge_bench::figs::fig8`.
+
+fn main() {
+    lmerge_bench::figs::fig8::report().emit();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig9 result. See `lmerge_bench::figs::fig9`.
+
+fn main() {
+    lmerge_bench::figs::fig9::report().emit();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table4 result. See `lmerge_bench::figs::table4`.
+
+fn main() {
+    lmerge_bench::figs::table4::report().emit();
+}

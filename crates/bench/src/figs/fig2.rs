@@ -1,0 +1,100 @@
+//! Figure 2: memory of LMerge variants over in-order input streams, as the
+//! number of inputs grows from 2 to 10.
+//!
+//! Paper shape: LMR0/LMR1/LMR2 negligible and flat; LMR3+ slightly higher
+//! but almost independent of the number of inputs (payloads shared across
+//! inputs); LMR3− much higher and degrading linearly with inputs.
+
+use crate::report::fmt_bytes;
+use crate::{drive_wallclock, scale_events, variants, Report};
+use lmerge_gen::timing::add_lag;
+use lmerge_gen::{assign_times, generate, GenConfig};
+
+/// Sweep result: `(inputs, per-variant peak bytes)` rows.
+pub struct Fig2 {
+    /// `(inputs, [bytes per variant])` in variant order.
+    pub rows: Vec<(usize, Vec<usize>)>,
+}
+
+/// The workload shared by Figures 2 and 3: ordered, insert-only streams.
+pub fn ordered_workload(events: usize) -> GenConfig {
+    GenConfig {
+        num_events: events,
+        disorder: 0.0,
+        disorder_window_ms: 0,
+        stable_freq: 0.01,
+        event_duration_ms: 30_000,
+        max_gap_ms: 20,
+        min_gap_ms: 1, // strictly increasing, as the R0 contract requires
+        finalize: true,
+        ..Default::default()
+    }
+}
+
+/// Run the sweep.
+pub fn run(events: usize) -> Fig2 {
+    let reference = generate(&ordered_workload(events));
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 6, 8, 10] {
+        // Identical ordered copies, each lagging 2 ms more than the last —
+        // close enough that every copy overlaps the live window.
+        let timed: Vec<_> = (0..n)
+            .map(|i| {
+                let mut t = assign_times(&reference.elements, 50_000.0);
+                add_lag(&mut t, i as u64 * 2_000);
+                t
+            })
+            .collect();
+        let mut cells = Vec::new();
+        for v in variants() {
+            let mut lm = v.build(n);
+            let run = drive_wallclock(lm.as_mut(), &timed);
+            cells.push(run.peak_memory);
+        }
+        rows.push((n, cells));
+    }
+    Fig2 { rows }
+}
+
+/// Build the printable report.
+pub fn report() -> Report {
+    let events = scale_events(20_000);
+    let result = run(events);
+    let mut report = Report::new(
+        "fig2",
+        "Memory vs #inputs, in-order streams (peak bytes)",
+        &["inputs", "LMR0", "LMR1", "LMR2", "LMR3+", "LMR3-", "LMR4"],
+    );
+    for (n, cells) in &result.rows {
+        let mut row = vec![n.to_string()];
+        row.extend(cells.iter().map(|b| fmt_bytes(*b)));
+        report.row(&row);
+    }
+    report.note(format!(
+        "{events} events/stream, disorder 0%, StableFreq 1%"
+    ));
+    report.note("expected: LMR0-2 flat+tiny; LMR3+ flat; LMR3- linear in inputs");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let r = run(4_000);
+        let first = &r.rows[0].1;
+        let last = &r.rows[r.rows.len() - 1].1;
+        // LMR0/LMR1 are tiny at every input count.
+        assert!(last[0] < 4096 && last[1] < 4096);
+        // LMR3+ (index 3) is roughly flat: within 2x from 2 to 10 inputs.
+        assert!((last[3] as f64) < 2.0 * first[3] as f64);
+        // LMR3− (index 4) grows substantially with inputs.
+        assert!((last[4] as f64) > 2.0 * first[4] as f64);
+        // LMR3− exceeds LMR3+ everywhere.
+        for (_, cells) in &r.rows {
+            assert!(cells[4] > cells[3]);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 3: throughput of LMerge variants over in-order input streams.
+//!
+//! Paper shape: the simpler the algorithm, the higher the throughput, and
+//! LMR3+ clearly beats LMR3− (one shared-index lookup per element versus
+//! multiple tree lookups over duplicated state).
+
+use crate::figs::fig2::ordered_workload;
+use crate::report::fmt_eps;
+use crate::{drive_wallclock, scale_events, variants, Report};
+use lmerge_gen::timing::add_lag;
+use lmerge_gen::{assign_times, generate};
+
+/// Sweep result: `(inputs, per-variant output events/s)`.
+pub struct Fig3 {
+    /// `(inputs, [eps per variant])` in variant order.
+    pub rows: Vec<(usize, Vec<f64>)>,
+}
+
+/// Run the sweep.
+pub fn run(events: usize) -> Fig3 {
+    let mut cfg = ordered_workload(events);
+    cfg.payload_len = 100;
+    let reference = generate(&cfg);
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 6, 8, 10] {
+        let timed: Vec<_> = (0..n)
+            .map(|i| {
+                let mut t = assign_times(&reference.elements, 50_000.0);
+                add_lag(&mut t, i as u64 * 2_000);
+                t
+            })
+            .collect();
+        let mut cells = Vec::new();
+        for v in variants() {
+            let mut lm = v.build(n);
+            let run = drive_wallclock(lm.as_mut(), &timed);
+            cells.push(run.output_eps());
+        }
+        rows.push((n, cells));
+    }
+    Fig3 { rows }
+}
+
+/// Build the printable report.
+pub fn report() -> Report {
+    let events = scale_events(20_000);
+    let result = run(events);
+    let mut report = Report::new(
+        "fig3",
+        "Throughput vs #inputs, in-order streams (output events/s, wall clock)",
+        &["inputs", "LMR0", "LMR1", "LMR2", "LMR3+", "LMR3-", "LMR4"],
+    );
+    for (n, cells) in &result.rows {
+        let mut row = vec![n.to_string()];
+        row.extend(cells.iter().map(|e| fmt_eps(*e)));
+        report.row(&row);
+    }
+    report.note(format!("{events} events/stream"));
+    report.note("expected: LMR0/1/2 >> LMR3+ > LMR4 > LMR3-");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simpler_is_faster_and_r3plus_beats_naive() {
+        let r = run(4_000);
+        for (_, cells) in &r.rows {
+            let (r0, r2, r3p, r3m) = (cells[0], cells[2], cells[3], cells[4]);
+            assert!(r0 > r3p, "LMR0 must beat LMR3+");
+            assert!(r2 > r3p, "LMR2 must beat LMR3+");
+            assert!(r3p > r3m, "LMR3+ must beat LMR3-");
+        }
+    }
+}

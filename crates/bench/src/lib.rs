@@ -1,0 +1,28 @@
+//! Benchmark harness for the LMerge evaluation (paper Section VI).
+//!
+//! One binary per table/figure regenerates the corresponding result:
+//!
+//! | Binary | Paper artefact |
+//! |--------|----------------|
+//! | `fig2` | Memory vs #inputs, in-order streams, all variants |
+//! | `fig3` | Throughput vs #inputs, in-order streams, all variants |
+//! | `fig4` | Output size (adjusts) vs disorder, with/without LMerge |
+//! | `fig5` | Throughput vs stream lag |
+//! | `fig6` | Memory & throughput vs StableFreq |
+//! | `fig7` | Memory, throughput & latency: LMR3+ vs LMR3− vs C+LMR1 |
+//! | `fig8` | Smoothing bursty streams |
+//! | `fig9` | Masking network congestion |
+//! | `fig10` | Plan switching with fast-forward feedback |
+//! | `table4` | Empirical check of the complexity table |
+//! | `all` | Runs everything above in sequence |
+//!
+//! Scale is controlled by `LMERGE_BENCH_EVENTS` (default 30 000 events per
+//! stream — small enough for seconds-per-figure on a laptop, large enough
+//! for the paper's shapes to be unmistakable).
+
+pub mod figs;
+pub mod harness;
+pub mod report;
+
+pub use harness::{build_divergent_inputs, drive_wallclock, scale_events, variants, VariantKind};
+pub use report::Report;

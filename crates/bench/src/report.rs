@@ -1,0 +1,145 @@
+//! Aligned-table reporting plus JSON persistence for the figure harness.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple column-aligned report: one per figure.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Experiment id, e.g. `"fig2"`.
+    pub id: String,
+    /// One-line description of what the figure shows.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form observations appended after the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Report {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.columns.len(), "row/column mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a note shown below the table.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "== {}: {} ==", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(s, "{}", line(&self.columns, &widths));
+        let _ = writeln!(
+            s,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", line(row, &widths));
+        }
+        for n in &self.notes {
+            let _ = writeln!(s, "note: {n}");
+        }
+        s
+    }
+
+    /// Print to stdout and persist JSON under `target/bench-results/`.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        let dir = PathBuf::from("target/bench-results");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{}.json", self.id));
+            if let Ok(json) = serde_json::to_string_pretty(self) {
+                let _ = std::fs::write(path, json);
+            }
+        }
+    }
+}
+
+/// Format a byte count humanely.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Format an events-per-second rate.
+pub fn fmt_eps(eps: f64) -> String {
+    if eps >= 1_000_000.0 {
+        format!("{:.2}M/s", eps / 1_000_000.0)
+    } else if eps >= 1_000.0 {
+        format!("{:.1}K/s", eps / 1_000.0)
+    } else {
+        format!("{eps:.0}/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_alignment() {
+        let mut r = Report::new("figX", "demo", &["a", "bbbb"]);
+        r.row(&["1".into(), "2".into()]);
+        r.row(&["333".into(), "4".into()]);
+        r.note("hello");
+        let s = r.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("note: hello"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn row_mismatch_panics() {
+        let mut r = Report::new("x", "y", &["a"]);
+        r.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0MiB");
+        assert_eq!(fmt_eps(500.0), "500/s");
+        assert_eq!(fmt_eps(1500.0), "1.5K/s");
+        assert_eq!(fmt_eps(2_500_000.0), "2.50M/s");
+    }
+}

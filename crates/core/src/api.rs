@@ -1,0 +1,48 @@
+//! The common interface of every LMerge variant.
+
+use crate::stats::MergeStats;
+use lmerge_properties::RLevel;
+use lmerge_temporal::{Element, Payload, StreamId, Time};
+
+/// A Logical Merge operator: `n` physically divergent, logically consistent
+/// inputs in, one compatible stream out.
+///
+/// Implementations are synchronous state machines: [`push`](Self::push) one
+/// element from one input, and any resulting output elements are appended to
+/// the caller's vector. This keeps the algorithms engine-agnostic and makes
+/// their behaviour exactly reproducible.
+pub trait LogicalMerge<P: Payload> {
+    /// Feed one element from input `input`; output elements are appended to
+    /// `out`. Elements from detached inputs are ignored.
+    fn push(&mut self, input: StreamId, element: &Element<P>, out: &mut Vec<Element<P>>);
+
+    /// Attach a new input stream that is guaranteed correct for every event
+    /// with `Ve ≥ join_time` (Section V-B). Returns its id. Pass
+    /// [`Time::MIN`] for a stream attached from the logical beginning.
+    fn attach(&mut self, join_time: Time) -> StreamId;
+
+    /// Detach (mark as left) an input stream. Its per-stream state is
+    /// released and its future elements ignored.
+    fn detach(&mut self, input: StreamId);
+
+    /// The operator's current output stable point (`MaxStable`).
+    fn max_stable(&self) -> Time;
+
+    /// The feedback signal of Section V-D: upstream producers may skip any
+    /// element whose entire relevance lies before this application time.
+    /// For the ordered variants this is the high-water `Vs`; for R3/R4 it is
+    /// the stable point.
+    fn feedback_point(&self) -> Time {
+        self.max_stable()
+    }
+
+    /// Element counters (drives the chattiness metric and Theorem 1 tests).
+    fn stats(&self) -> MergeStats;
+
+    /// Estimated operator memory: index structures plus retained payload
+    /// bytes (the metric of the paper's Figures 2, 6, and 7).
+    fn memory_bytes(&self) -> usize;
+
+    /// Which case of the paper's restriction spectrum this operator handles.
+    fn level(&self) -> RLevel;
+}

@@ -1,0 +1,270 @@
+//! The `in2t` (index-2-tier) data structure of Figure 1 (left).
+//!
+//! The top tier orders live `(Vs, Payload)` keys by `Vs` (the paper uses a
+//! red-black tree; we use a `BTreeMap<Vs, HashMap<Payload, Node>>`, which
+//! supports the same `FindHalfFrozen` range scan). Each node stores the
+//! event *once* — payloads are shared across inputs, which is what makes
+//! LMR3+ memory nearly independent of the number of inputs — plus a small
+//! hash table mapping each input stream (and the output pseudo-stream) to
+//! its current `Ve` for the event.
+
+use lmerge_temporal::{Payload, StreamId, Time};
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-key node: one shared event, per-stream current end times.
+///
+/// The per-stream table is a small vector rather than a hash map: LMerge
+/// fans in a handful of streams, and a linear scan over an inline vector is
+/// both faster and leaner than a heap-allocated map per event.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Current `Ve` on each input stream that has produced the event.
+    per_input: Vec<(u32, Time)>,
+    /// Current `Ve` on the output (`None` until first emitted — the paper's
+    /// hash entry with "special key ∞", made optional to support the
+    /// `WaitHalfFrozen`/`Quorum` insert policies).
+    pub output_ve: Option<Time>,
+}
+
+impl Node {
+    fn new() -> Node {
+        Node {
+            per_input: Vec::new(),
+            output_ve: None,
+        }
+    }
+
+    /// Record `ve` for input `s`. Returns true when `s` is new to the node.
+    pub fn set_input(&mut self, s: StreamId, ve: Time) -> bool {
+        for entry in &mut self.per_input {
+            if entry.0 == s.0 {
+                entry.1 = ve;
+                return false;
+            }
+        }
+        self.per_input.push((s.0, ve));
+        true
+    }
+
+    /// The current `Ve` recorded for input `s`, if any.
+    pub fn input_ve(&self, s: StreamId) -> Option<Time> {
+        self.per_input
+            .iter()
+            .find(|(id, _)| *id == s.0)
+            .map(|(_, ve)| *ve)
+    }
+
+    /// Whether input `s` has produced the event.
+    pub fn has_input(&self, s: StreamId) -> bool {
+        self.per_input.iter().any(|(id, _)| *id == s.0)
+    }
+
+    /// Drop input `s`'s entry. Returns true if one existed.
+    pub fn remove_input(&mut self, s: StreamId) -> bool {
+        if let Some(pos) = self.per_input.iter().position(|(id, _)| *id == s.0) {
+            self.per_input.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of distinct inputs that have produced the event (drives the
+    /// `Quorum` insert policy).
+    pub fn support(&self) -> u32 {
+        self.per_input.len() as u32
+    }
+}
+
+/// The two-tier index: `Vs → (Payload → Node)`.
+#[derive(Debug)]
+pub struct In2t<P: Payload> {
+    tiers: BTreeMap<Time, HashMap<P, Node>>,
+    nodes: usize,
+    /// Retained payload heap bytes (each payload stored once).
+    payload_bytes: usize,
+    /// Total per-input hash entries across all nodes.
+    entries: usize,
+}
+
+impl<P: Payload> In2t<P> {
+    /// An empty index.
+    pub fn new() -> In2t<P> {
+        In2t {
+            tiers: BTreeMap::new(),
+            nodes: 0,
+            payload_bytes: 0,
+            entries: 0,
+        }
+    }
+
+    /// Number of live `(Vs, Payload)` nodes (the paper's `w`).
+    pub fn len(&self) -> usize {
+        self.nodes
+    }
+
+    /// Whether the index holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes == 0
+    }
+
+    /// Look up the node for `(vs, payload)` (the paper's `SameVsPayload`).
+    pub fn get(&self, vs: Time, payload: &P) -> Option<&Node> {
+        self.tiers.get(&vs).and_then(|m| m.get(payload))
+    }
+
+    /// Mutable lookup; `added_entry` bookkeeping is the caller's job via
+    /// [`In2t::note_entry_added`].
+    pub fn get_mut(&mut self, vs: Time, payload: &P) -> Option<&mut Node> {
+        self.tiers.get_mut(&vs).and_then(|m| m.get_mut(payload))
+    }
+
+    /// Add a node for `(vs, payload)`; returns a mutable reference.
+    /// The caller must not add a node that already exists.
+    pub fn add_node(&mut self, vs: Time, payload: P) -> &mut Node {
+        self.nodes += 1;
+        self.payload_bytes += payload.heap_bytes();
+        self.tiers
+            .entry(vs)
+            .or_default()
+            .entry(payload)
+            .or_insert_with(Node::new)
+    }
+
+    /// Record that one per-input hash entry was added somewhere.
+    pub fn note_entry_added(&mut self) {
+        self.entries += 1;
+    }
+
+    /// Remove the node for `(vs, payload)`.
+    pub fn remove(&mut self, vs: Time, payload: &P) {
+        if let Some(m) = self.tiers.get_mut(&vs) {
+            if let Some(node) = m.remove(payload) {
+                self.nodes -= 1;
+                self.payload_bytes -= payload.heap_bytes();
+                self.entries -= node.per_input.len();
+            }
+            if m.is_empty() {
+                self.tiers.remove(&vs);
+            }
+        }
+    }
+
+    /// Iterate `(vs, payload, node)` for all nodes with `Vs < t` (the
+    /// paper's `FindHalfFrozen`), in `Vs` order.
+    pub fn half_frozen(&self, t: Time) -> impl Iterator<Item = (Time, &P, &Node)> + '_ {
+        self.tiers
+            .range(..t)
+            .flat_map(|(vs, m)| m.iter().map(move |(p, n)| (*vs, p, n)))
+    }
+
+    /// Collect the keys of all nodes with `Vs < t` (cloned so the caller can
+    /// mutate the index while walking them).
+    pub fn half_frozen_keys(&self, t: Time) -> Vec<(Time, P)> {
+        self.tiers
+            .range(..t)
+            .flat_map(|(vs, m)| m.keys().map(move |p| (*vs, p.clone())))
+            .collect()
+    }
+
+    /// Drop every per-input entry belonging to `s` (stream detach).
+    pub fn purge_stream(&mut self, s: StreamId) {
+        for m in self.tiers.values_mut() {
+            for node in m.values_mut() {
+                if node.remove_input(s) {
+                    self.entries -= 1;
+                }
+            }
+        }
+    }
+
+    /// Estimated memory: tree/hash structure plus shared payloads plus
+    /// per-input entries.
+    pub fn memory_bytes(&self) -> usize {
+        const TIER_OVERHEAD: usize = 48; // BTree node amortized per key
+        const NODE_OVERHEAD: usize = std::mem::size_of::<Node>() + 32;
+        const ENTRY_BYTES: usize = std::mem::size_of::<(u32, Time)>() + 16;
+        self.tiers.len() * TIER_OVERHEAD
+            + self.nodes * (NODE_OVERHEAD + std::mem::size_of::<P>())
+            + self.payload_bytes
+            + self.entries * ENTRY_BYTES
+    }
+}
+
+impl<P: Payload> Default for In2t<P> {
+    fn default() -> Self {
+        In2t::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_remove() {
+        let mut ix: In2t<&str> = In2t::new();
+        ix.add_node(Time(5), "A").set_input(StreamId(0), Time(9));
+        ix.note_entry_added();
+        assert_eq!(ix.len(), 1);
+        assert_eq!(
+            ix.get(Time(5), &"A").unwrap().input_ve(StreamId(0)),
+            Some(Time(9))
+        );
+        assert!(ix.get(Time(5), &"B").is_none());
+        ix.remove(Time(5), &"A");
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn half_frozen_scans_by_vs() {
+        let mut ix: In2t<&str> = In2t::new();
+        ix.add_node(Time(1), "A");
+        ix.add_node(Time(5), "B");
+        ix.add_node(Time(9), "C");
+        let hf: Vec<_> = ix.half_frozen(Time(6)).map(|(vs, p, _)| (vs, *p)).collect();
+        assert_eq!(hf, vec![(Time(1), "A"), (Time(5), "B")]);
+        assert_eq!(ix.half_frozen_keys(Time(1)).len(), 0);
+    }
+
+    #[test]
+    fn support_counts_distinct_inputs() {
+        let mut ix: In2t<&str> = In2t::new();
+        let n = ix.add_node(Time(1), "A");
+        n.set_input(StreamId(0), Time(5));
+        n.set_input(StreamId(0), Time(7)); // same input again
+        n.set_input(StreamId(1), Time(5));
+        assert_eq!(ix.get(Time(1), &"A").unwrap().support(), 2);
+    }
+
+    #[test]
+    fn purge_stream_removes_entries() {
+        let mut ix: In2t<&str> = In2t::new();
+        let n = ix.add_node(Time(1), "A");
+        n.set_input(StreamId(0), Time(5));
+        n.set_input(StreamId(1), Time(6));
+        ix.note_entry_added();
+        ix.note_entry_added();
+        ix.purge_stream(StreamId(0));
+        let node = ix.get(Time(1), &"A").unwrap();
+        assert!(!node.has_input(StreamId(0)));
+        assert!(node.has_input(StreamId(1)));
+    }
+
+    #[test]
+    fn memory_shares_payloads_across_inputs() {
+        use lmerge_temporal::Value;
+        let mut ix: In2t<Value> = In2t::new();
+        let p = Value::synthetic(1, 1000);
+        let n = ix.add_node(Time(1), p.clone());
+        for s in 0..10 {
+            n.set_input(StreamId(s), Time(5));
+        }
+        for _ in 0..10 {
+            ix.note_entry_added();
+        }
+        // Ten inputs, but only one kilobyte of payload is charged.
+        let mem = ix.memory_bytes();
+        assert!(mem > 1000 && mem < 3000, "got {mem}");
+    }
+}

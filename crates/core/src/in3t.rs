@@ -1,0 +1,249 @@
+//! The `in3t` (index-3-tier) data structure of Figure 1 (right).
+//!
+//! R4 permits several events with the same `(Vs, Payload)` and different
+//! `Ve`s, plus exact duplicates. `in3t` therefore replaces `in2t`'s single
+//! `Ve` per stream with a small ordered map `Ve → count` per stream (the
+//! paper uses a red-black tree with counts).
+
+use lmerge_temporal::{Payload, StreamId, Time};
+use std::collections::{BTreeMap, HashMap};
+
+/// `Ve → multiplicity` for one stream at one `(Vs, Payload)`.
+pub type VeCounts = BTreeMap<Time, usize>;
+
+/// Per-key node: shared payload, per-stream `Ve` multisets, output multiset.
+#[derive(Clone, Debug, Default)]
+pub struct Node {
+    /// Each input stream's live `Ve` multiset.
+    pub per_input: HashMap<u32, VeCounts>,
+    /// The output's live `Ve` multiset (the "special key ∞" entry).
+    pub output: VeCounts,
+}
+
+impl Node {
+    /// Total event count for stream `s` at this key (`GetCount(s)`).
+    pub fn count_of(&self, s: StreamId) -> usize {
+        self.per_input
+            .get(&s.0)
+            .map(|m| m.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Total output event count at this key (`GetCount(∞)`).
+    pub fn count_out(&self) -> usize {
+        self.output.values().sum()
+    }
+
+    /// Largest live `Ve` for stream `s` (`GetMaxVe(s)`), if any.
+    pub fn max_ve(&self, s: StreamId) -> Option<Time> {
+        self.per_input
+            .get(&s.0)
+            .and_then(|m| m.keys().next_back().copied())
+    }
+
+    /// Add one occurrence of `ve` for stream `s` (`IncrementCount`).
+    pub fn increment(&mut self, s: StreamId, ve: Time) {
+        *self
+            .per_input
+            .entry(s.0)
+            .or_default()
+            .entry(ve)
+            .or_insert(0) += 1;
+    }
+
+    /// Remove one occurrence of `ve` for stream `s` (`DecrementCount`).
+    /// Returns false if no such occurrence was recorded (stale element).
+    pub fn decrement(&mut self, s: StreamId, ve: Time) -> bool {
+        let Some(m) = self.per_input.get_mut(&s.0) else {
+            return false;
+        };
+        match m.get_mut(&ve) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                if *c == 0 {
+                    m.remove(&ve);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Add one output occurrence of `ve`.
+    pub fn out_increment(&mut self, ve: Time) {
+        *self.output.entry(ve).or_insert(0) += 1;
+    }
+
+    /// Remove one output occurrence of `ve`. Returns false when absent.
+    pub fn out_decrement(&mut self, ve: Time) -> bool {
+        match self.output.get_mut(&ve) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                if *c == 0 {
+                    self.output.remove(&ve);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The three-tier index: `Vs → (Payload → Node)`, nodes holding `Ve` trees.
+#[derive(Debug, Default)]
+pub struct In3t<P: Payload> {
+    tiers: BTreeMap<Time, HashMap<P, Node>>,
+    nodes: usize,
+    payload_bytes: usize,
+}
+
+impl<P: Payload> In3t<P> {
+    /// An empty index.
+    pub fn new() -> In3t<P> {
+        In3t {
+            tiers: BTreeMap::new(),
+            nodes: 0,
+            payload_bytes: 0,
+        }
+    }
+
+    /// Number of live `(Vs, Payload)` nodes.
+    pub fn len(&self) -> usize {
+        self.nodes
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes == 0
+    }
+
+    /// Look up the node for `(vs, payload)`.
+    pub fn get(&self, vs: Time, payload: &P) -> Option<&Node> {
+        self.tiers.get(&vs).and_then(|m| m.get(payload))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, vs: Time, payload: &P) -> Option<&mut Node> {
+        self.tiers.get_mut(&vs).and_then(|m| m.get_mut(payload))
+    }
+
+    /// Get-or-create the node for `(vs, payload)`.
+    pub fn entry(&mut self, vs: Time, payload: &P) -> &mut Node {
+        let m = self.tiers.entry(vs).or_default();
+        if !m.contains_key(payload) {
+            self.nodes += 1;
+            self.payload_bytes += payload.heap_bytes();
+        }
+        m.entry(payload.clone()).or_default()
+    }
+
+    /// Remove the node for `(vs, payload)`.
+    pub fn remove(&mut self, vs: Time, payload: &P) {
+        if let Some(m) = self.tiers.get_mut(&vs) {
+            if m.remove(payload).is_some() {
+                self.nodes -= 1;
+                self.payload_bytes -= payload.heap_bytes();
+            }
+            if m.is_empty() {
+                self.tiers.remove(&vs);
+            }
+        }
+    }
+
+    /// Keys of all nodes with `Vs < t`, cloned for safe mutation.
+    pub fn half_frozen_keys(&self, t: Time) -> Vec<(Time, P)> {
+        self.tiers
+            .range(..t)
+            .flat_map(|(vs, m)| m.keys().map(move |p| (*vs, p.clone())))
+            .collect()
+    }
+
+    /// Drop all state belonging to stream `s` (detach).
+    pub fn purge_stream(&mut self, s: StreamId) {
+        for m in self.tiers.values_mut() {
+            for node in m.values_mut() {
+                node.per_input.remove(&s.0);
+            }
+        }
+    }
+
+    /// Estimated memory: structure plus shared payloads plus per-stream
+    /// `Ve` tree entries.
+    pub fn memory_bytes(&self) -> usize {
+        const TIER_OVERHEAD: usize = 48;
+        const NODE_OVERHEAD: usize = std::mem::size_of::<Node>() + 32;
+        const VE_ENTRY: usize = std::mem::size_of::<(Time, usize)>() + 16;
+        let mut entries = 0usize;
+        for m in self.tiers.values() {
+            for node in m.values() {
+                entries += node.output.len();
+                entries += node.per_input.values().map(BTreeMap::len).sum::<usize>();
+            }
+        }
+        self.tiers.len() * TIER_OVERHEAD
+            + self.nodes * (NODE_OVERHEAD + std::mem::size_of::<P>())
+            + self.payload_bytes
+            + entries * VE_ENTRY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_max_ve() {
+        let mut ix: In3t<&str> = In3t::new();
+        let n = ix.entry(Time(1), &"A");
+        n.increment(StreamId(0), Time(5));
+        n.increment(StreamId(0), Time(5));
+        n.increment(StreamId(0), Time(9));
+        assert_eq!(n.count_of(StreamId(0)), 3);
+        assert_eq!(n.max_ve(StreamId(0)), Some(Time(9)));
+        assert!(n.decrement(StreamId(0), Time(9)));
+        assert_eq!(n.max_ve(StreamId(0)), Some(Time(5)));
+        assert!(!n.decrement(StreamId(0), Time(9)), "already gone");
+    }
+
+    #[test]
+    fn entry_is_idempotent_on_node_count() {
+        let mut ix: In3t<&str> = In3t::new();
+        ix.entry(Time(1), &"A");
+        ix.entry(Time(1), &"A");
+        assert_eq!(ix.len(), 1);
+        ix.remove(Time(1), &"A");
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn output_multiset() {
+        let mut ix: In3t<&str> = In3t::new();
+        let n = ix.entry(Time(1), &"A");
+        n.out_increment(Time(5));
+        n.out_increment(Time(5));
+        assert_eq!(n.count_out(), 2);
+        assert!(n.out_decrement(Time(5)));
+        assert_eq!(n.count_out(), 1);
+        assert!(!n.out_decrement(Time(7)));
+    }
+
+    #[test]
+    fn half_frozen_scan() {
+        let mut ix: In3t<&str> = In3t::new();
+        ix.entry(Time(1), &"A");
+        ix.entry(Time(8), &"B");
+        assert_eq!(ix.half_frozen_keys(Time(5)), vec![(Time(1), "A")]);
+    }
+
+    #[test]
+    fn purge_stream_drops_only_that_stream() {
+        let mut ix: In3t<&str> = In3t::new();
+        let n = ix.entry(Time(1), &"A");
+        n.increment(StreamId(0), Time(5));
+        n.increment(StreamId(1), Time(6));
+        ix.purge_stream(StreamId(0));
+        let n = ix.get(Time(1), &"A").unwrap();
+        assert_eq!(n.count_of(StreamId(0)), 0);
+        assert_eq!(n.count_of(StreamId(1)), 1);
+    }
+}

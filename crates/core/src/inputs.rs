@@ -1,0 +1,170 @@
+//! Input-stream registry: joining and leaving streams (Section V-B).
+//!
+//! A stream that attaches at runtime provides a timestamp `t` from which it
+//! guarantees a correct TDB (every event with `Ve ≥ t`). Until the merge's
+//! stable point reaches `t`, the newcomer's *data* is usable (duplicates are
+//! suppressed by the algorithms anyway) but its `stable` punctuation must be
+//! ignored — following it could freeze output the newcomer never saw. Once
+//! `MaxStable ≥ t` the stream is marked joined and "LMerge can tolerate the
+//! simultaneous failure or removal of all the other streams".
+//!
+//! A leaving stream is marked as such and excluded from all future
+//! consideration; the algorithms purge its per-stream state.
+
+use lmerge_temporal::{StreamId, Time};
+
+/// Lifecycle state of one attached input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputState {
+    /// Attached and fully trusted.
+    Active,
+    /// Attached but only correct from the given timestamp onward.
+    Joining(Time),
+    /// Detached; its elements are ignored.
+    Left,
+}
+
+/// Registry of LMerge input streams.
+#[derive(Clone, Debug, Default)]
+pub struct Inputs {
+    states: Vec<InputState>,
+}
+
+impl Inputs {
+    /// A registry with `n` initially active streams (ids `0..n`).
+    pub fn new(n: usize) -> Inputs {
+        Inputs {
+            states: vec![InputState::Active; n],
+        }
+    }
+
+    /// Attach a new stream that is correct from `join_time` onward.
+    /// Returns the new stream's id.
+    pub fn attach(&mut self, join_time: Time) -> StreamId {
+        let id = StreamId(self.states.len() as u32);
+        // A join time at or before -∞ means the stream saw everything.
+        if join_time == Time::MIN {
+            self.states.push(InputState::Active);
+        } else {
+            self.states.push(InputState::Joining(join_time));
+        }
+        id
+    }
+
+    /// Mark a stream as left. Idempotent; unknown ids are ignored.
+    pub fn detach(&mut self, id: StreamId) {
+        if let Some(s) = self.states.get_mut(id.0 as usize) {
+            *s = InputState::Left;
+        }
+    }
+
+    /// Promote joining streams whose join time is now covered.
+    pub fn on_stable_advance(&mut self, max_stable: Time) {
+        for s in &mut self.states {
+            if let InputState::Joining(t) = s {
+                if max_stable >= *t {
+                    *s = InputState::Active;
+                }
+            }
+        }
+    }
+
+    /// State of a stream (unknown ids read as `Left`).
+    pub fn state(&self, id: StreamId) -> InputState {
+        self.states
+            .get(id.0 as usize)
+            .copied()
+            .unwrap_or(InputState::Left)
+    }
+
+    /// Whether the stream's data elements should be processed.
+    pub fn accepts_data(&self, id: StreamId) -> bool {
+        !matches!(self.state(id), InputState::Left)
+    }
+
+    /// Whether the stream's `stable` punctuation may drive output progress.
+    pub fn accepts_stable(&self, id: StreamId) -> bool {
+        matches!(self.state(id), InputState::Active)
+    }
+
+    /// Total ids ever allocated (including left streams).
+    pub fn allocated(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of currently attached (active or joining) streams.
+    pub fn live(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| !matches!(s, InputState::Left))
+            .count()
+    }
+
+    /// Iterate ids of currently attached streams.
+    pub fn live_ids(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| (!matches!(s, InputState::Left)).then_some(StreamId(i as u32)))
+    }
+
+    /// Approximate memory footprint of the registry itself.
+    pub fn memory_bytes(&self) -> usize {
+        self.states.capacity() * std::mem::size_of::<InputState>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_streams_are_active() {
+        let inputs = Inputs::new(3);
+        assert_eq!(inputs.live(), 3);
+        assert!(inputs.accepts_data(StreamId(0)));
+        assert!(inputs.accepts_stable(StreamId(2)));
+        assert!(!inputs.accepts_data(StreamId(7)), "unknown id is Left");
+    }
+
+    #[test]
+    fn joining_stream_gates_stable_until_covered() {
+        let mut inputs = Inputs::new(1);
+        let id = inputs.attach(Time(100));
+        assert!(inputs.accepts_data(id), "data usable immediately");
+        assert!(!inputs.accepts_stable(id), "punctuation gated");
+        inputs.on_stable_advance(Time(99));
+        assert!(!inputs.accepts_stable(id));
+        inputs.on_stable_advance(Time(100));
+        assert!(inputs.accepts_stable(id), "joined at MaxStable >= t");
+    }
+
+    #[test]
+    fn attach_from_beginning_is_immediately_active() {
+        let mut inputs = Inputs::new(0);
+        let id = inputs.attach(Time::MIN);
+        assert!(inputs.accepts_stable(id));
+    }
+
+    #[test]
+    fn detach_excludes_stream() {
+        let mut inputs = Inputs::new(2);
+        inputs.detach(StreamId(0));
+        assert!(!inputs.accepts_data(StreamId(0)));
+        assert!(!inputs.accepts_stable(StreamId(0)));
+        assert_eq!(inputs.live(), 1);
+        assert_eq!(inputs.live_ids().collect::<Vec<_>>(), vec![StreamId(1)]);
+        // Idempotent, and allocated ids are never reused.
+        inputs.detach(StreamId(0));
+        assert_eq!(inputs.allocated(), 2);
+    }
+
+    #[test]
+    fn detached_stream_stays_left_after_stable_advance() {
+        let mut inputs = Inputs::new(1);
+        let id = inputs.attach(Time(10));
+        inputs.detach(id);
+        inputs.on_stable_advance(Time(50));
+        assert_eq!(inputs.state(id), InputState::Left);
+    }
+}

@@ -1,0 +1,137 @@
+//! Output-policy choices for LMerge (Section V-A of the paper).
+//!
+//! Compatibility (Section III-D) leaves freedom in *when* the output
+//! reflects input activity. The paper identifies two policy locations in
+//! Algorithm R3 — how to react to incoming `adjust` elements (location 1)
+//! and when to first emit an event (location 2) — plus a choice of how the
+//! output stable point tracks the inputs. Each is an independent knob here.
+
+use lmerge_temporal::Time;
+
+/// When an event is first emitted on the output (location 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum InsertPolicy {
+    /// Emit the first insert seen for a `(Vs, Payload)` immediately
+    /// (maximally responsive; the paper's default).
+    #[default]
+    Immediate,
+    /// Emit only once the event becomes half frozen on some input — the
+    /// output then never has to fully delete an event, at the cost of
+    /// latency.
+    WaitHalfFrozen,
+    /// Emit once at least this many inputs have produced an event for the
+    /// `(Vs, Payload)` — the paper's "hybrid choice" that reduces spurious
+    /// output when inputs are physically very different.
+    Quorum(u32),
+    /// Emit an insert only when it comes from the *leading* stream (the one
+    /// holding the maximum stable timestamp) — "appropriate when one stream
+    /// is usually ahead of the others". Events the leader never volunteers
+    /// are still recovered at freeze time from whoever drives the stable.
+    FollowLeader,
+}
+
+/// How incoming `adjust` elements are reflected (location 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AdjustPolicy {
+    /// Never forward adjusts eagerly; issue correcting adjusts only when a
+    /// `stable` would otherwise freeze a divergence (the paper's default —
+    /// this is what makes Theorem 1's non-chattiness bound hold).
+    #[default]
+    Lazy,
+    /// Reflect every adjust at the output as soon as it is seen — chattier,
+    /// but downstream listeners observe revisions earlier.
+    Eager,
+}
+
+/// When `stable` punctuation is propagated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StablePolicy {
+    /// Keep the output at the maximum stable point of all inputs (the
+    /// paper's recommendation, minimizing LMerge memory).
+    #[default]
+    TrackMax,
+    /// Lag the maximum by a fixed application-time margin, trading memory
+    /// for fewer correcting adjusts when inputs still disagree near the
+    /// frontier.
+    Lag(i64),
+}
+
+impl StablePolicy {
+    /// The effective stable point to act on when an input reports `t`.
+    pub fn effective(self, t: Time) -> Time {
+        match self {
+            StablePolicy::TrackMax => t,
+            StablePolicy::Lag(delta) => t.saturating_sub(delta),
+        }
+    }
+}
+
+/// The complete policy bundle for an LMerge instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergePolicy {
+    /// Location 2: when to first emit an event.
+    pub insert: InsertPolicy,
+    /// Location 1: how to reflect adjusts.
+    pub adjust: AdjustPolicy,
+    /// Stable propagation.
+    pub stable: StablePolicy,
+}
+
+impl MergePolicy {
+    /// The paper's default policy: immediate inserts, lazy adjusts, output
+    /// stable tracking the maximum input stable point.
+    pub fn paper_default() -> MergePolicy {
+        MergePolicy::default()
+    }
+
+    /// A conservative policy: wait for half-frozen support before emitting,
+    /// lazy adjusts (the paper's "more reasonable policy" discussion).
+    pub fn conservative() -> MergePolicy {
+        MergePolicy {
+            insert: InsertPolicy::WaitHalfFrozen,
+            ..Default::default()
+        }
+    }
+
+    /// An eager policy: immediate inserts and eager adjust propagation
+    /// (maximum responsiveness, maximum chattiness — the paper's `Out1`).
+    pub fn eager() -> MergePolicy {
+        MergePolicy {
+            adjust: AdjustPolicy::Eager,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = MergePolicy::paper_default();
+        assert_eq!(p.insert, InsertPolicy::Immediate);
+        assert_eq!(p.adjust, AdjustPolicy::Lazy);
+        assert_eq!(p.stable, StablePolicy::TrackMax);
+    }
+
+    #[test]
+    fn stable_lag_shifts_effective_point() {
+        assert_eq!(StablePolicy::Lag(5).effective(Time(20)), Time(15));
+        assert_eq!(StablePolicy::TrackMax.effective(Time(20)), Time(20));
+        assert_eq!(
+            StablePolicy::Lag(5).effective(Time::INFINITY),
+            Time::INFINITY,
+            "lagging infinity is still infinity"
+        );
+    }
+
+    #[test]
+    fn named_policies() {
+        assert_eq!(
+            MergePolicy::conservative().insert,
+            InsertPolicy::WaitHalfFrozen
+        );
+        assert_eq!(MergePolicy::eager().adjust, AdjustPolicy::Eager);
+    }
+}

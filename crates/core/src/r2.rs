@@ -1,0 +1,262 @@
+//! Algorithm R2: LMerge for insert-only, non-decreasing streams where
+//! elements with equal `Vs` may arrive in *different* orders on different
+//! inputs (paper Section IV-C).
+//!
+//! A hash table indexes (by payload) every element at the current `MaxVs`;
+//! an insert is new exactly when the sending input has presented more
+//! occurrences of the payload than the output has emitted. When
+//! `(Vs, Payload)` is a key (the paper's stated assumption) the counts are
+//! all 0/1 and this degenerates to a set-membership test; the counting form
+//! is the "relaxation to handle duplicates" the paper notes is
+//! "straightforward and omitted".
+
+use crate::api::LogicalMerge;
+use crate::inputs::Inputs;
+use crate::stats::MergeStats;
+use lmerge_properties::RLevel;
+use lmerge_temporal::{Element, Payload, StreamId, Time};
+use std::collections::HashMap;
+
+/// Per-payload occurrence counts at the current `MaxVs`.
+#[derive(Debug, Default, Clone)]
+struct Counts {
+    /// `(input id, occurrences seen)`, a small linear-scan table.
+    per_input: Vec<(u32, u64)>,
+    /// Occurrences emitted on the output.
+    out: u64,
+}
+
+impl Counts {
+    fn bump(&mut self, s: StreamId) -> u64 {
+        for entry in &mut self.per_input {
+            if entry.0 == s.0 {
+                entry.1 += 1;
+                return entry.1;
+            }
+        }
+        self.per_input.push((s.0, 1));
+        1
+    }
+}
+
+/// The R2 merge: `O(g·p)` state (all events at the newest timestamp).
+#[derive(Debug)]
+pub struct LMergeR2<P: Payload> {
+    max_vs: Time,
+    max_stable: Time,
+    /// Occurrence counts per payload with `Vs == MaxVs`.
+    at_max_vs: HashMap<P, Counts>,
+    /// Retained payload bytes in `at_max_vs` (memory metric).
+    payload_bytes: usize,
+    inputs: Inputs,
+    stats: MergeStats,
+}
+
+impl<P: Payload> LMergeR2<P> {
+    /// An R2 merge over `n` initially attached inputs.
+    pub fn new(n: usize) -> LMergeR2<P> {
+        LMergeR2 {
+            max_vs: Time::MIN,
+            max_stable: Time::MIN,
+            at_max_vs: HashMap::new(),
+            payload_bytes: 0,
+            inputs: Inputs::new(n),
+            stats: MergeStats::default(),
+        }
+    }
+}
+
+impl<P: Payload> LogicalMerge<P> for LMergeR2<P> {
+    fn push(&mut self, input: StreamId, element: &Element<P>, out: &mut Vec<Element<P>>) {
+        match element {
+            Element::Insert(e) => {
+                self.stats.inserts_in += 1;
+                if !self.inputs.accepts_data(input) {
+                    return;
+                }
+                if e.vs < self.max_vs {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                if e.vs > self.max_vs {
+                    self.at_max_vs.clear();
+                    self.payload_bytes = 0;
+                    self.max_vs = e.vs;
+                }
+                let counts = match self.at_max_vs.get_mut(&e.payload) {
+                    Some(c) => c,
+                    None => {
+                        self.payload_bytes += e.payload.heap_bytes();
+                        self.at_max_vs.entry(e.payload.clone()).or_default()
+                    }
+                };
+                // New exactly when this input has now presented more
+                // occurrences than the output carries.
+                if counts.bump(input) > counts.out {
+                    counts.out += 1;
+                    self.stats.inserts_out += 1;
+                    out.push(Element::Insert(e.clone()));
+                } else {
+                    self.stats.dropped += 1;
+                }
+            }
+            Element::Adjust { .. } => {
+                panic!("LMergeR2: adjust() elements are not supported in case R2");
+            }
+            Element::Stable(t) => {
+                self.stats.stables_in += 1;
+                if !self.inputs.accepts_stable(input) {
+                    return;
+                }
+                if *t > self.max_stable {
+                    self.max_stable = *t;
+                    self.inputs.on_stable_advance(self.max_stable);
+                    self.stats.stables_out += 1;
+                    out.push(Element::Stable(*t));
+                }
+            }
+        }
+    }
+
+    fn attach(&mut self, join_time: Time) -> StreamId {
+        self.inputs.attach(join_time)
+    }
+
+    fn detach(&mut self, input: StreamId) {
+        self.inputs.detach(input);
+    }
+
+    fn max_stable(&self) -> Time {
+        self.max_stable
+    }
+
+    fn feedback_point(&self) -> Time {
+        self.max_vs.max(self.max_stable)
+    }
+
+    fn stats(&self) -> MergeStats {
+        self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.at_max_vs.capacity() * std::mem::size_of::<P>()
+            + self.payload_bytes
+            + self.inputs.memory_bytes()
+    }
+
+    fn level(&self) -> RLevel {
+        RLevel::R2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_vs_different_orders_merge_cleanly() {
+        // Grouped aggregation: per-group results at Vs=1, opposite orders.
+        let mut lm = LMergeR2::new(2);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &Element::insert("g1", 1, 5), &mut out);
+        lm.push(StreamId(1), &Element::insert("g2", 1, 5), &mut out); // new payload!
+        lm.push(StreamId(1), &Element::insert("g1", 1, 5), &mut out); // dup
+        lm.push(StreamId(0), &Element::insert("g2", 1, 5), &mut out); // dup
+        assert_eq!(
+            out,
+            vec![Element::insert("g1", 1, 5), Element::insert("g2", 1, 5)]
+        );
+        assert_eq!(lm.stats().dropped, 2);
+    }
+
+    #[test]
+    fn new_vs_clears_hash() {
+        let mut lm = LMergeR2::new(1);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &Element::insert("g1", 1, 5), &mut out);
+        lm.push(StreamId(0), &Element::insert("g1", 2, 6), &mut out);
+        assert_eq!(out.len(), 2, "same payload at a later Vs is a new event");
+    }
+
+    #[test]
+    fn stale_insert_dropped() {
+        let mut lm = LMergeR2::new(2);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &Element::insert("a", 5, 9), &mut out);
+        lm.push(StreamId(1), &Element::insert("b", 4, 9), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn memory_tracks_payloads_at_max_vs() {
+        use lmerge_temporal::Value;
+        let mut lm = LMergeR2::new(1);
+        let mut out = Vec::new();
+        let m0 = lm.memory_bytes();
+        for k in 0..10 {
+            lm.push(
+                StreamId(0),
+                &Element::insert(Value::synthetic(k, 1000), 1, 50),
+                &mut out,
+            );
+        }
+        assert!(lm.memory_bytes() >= m0 + 10_000, "10 payloads retained");
+        // Advancing Vs releases them.
+        lm.push(
+            StreamId(0),
+            &Element::insert(Value::synthetic(99, 1000), 2, 50),
+            &mut out,
+        );
+        assert!(lm.memory_bytes() < m0 + 10_000);
+    }
+
+    #[test]
+    fn stable_behaviour_matches_r0() {
+        let mut lm: LMergeR2<&str> = LMergeR2::new(2);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &Element::stable(5), &mut out);
+        lm.push(StreamId(1), &Element::stable(5), &mut out);
+        assert_eq!(out, vec![Element::stable(5)]);
+    }
+}
+
+#[cfg(test)]
+mod duplicate_relaxation_tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_events_at_one_timestamp_are_preserved() {
+        // Two genuine occurrences of the same payload at the same Vs.
+        let mut lm = LMergeR2::new(2);
+        let mut out = Vec::new();
+        for s in 0..2u32 {
+            lm.push(StreamId(s), &Element::insert("A", 1, 5), &mut out);
+            lm.push(StreamId(s), &Element::insert("A", 1, 5), &mut out);
+        }
+        assert_eq!(out.len(), 2, "two occurrences, not one, not four");
+    }
+
+    #[test]
+    fn asymmetric_duplicate_counts_follow_the_maximum() {
+        let mut lm = LMergeR2::new(2);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &Element::insert("A", 1, 5), &mut out);
+        lm.push(StreamId(1), &Element::insert("A", 1, 5), &mut out); // dup
+        lm.push(StreamId(1), &Element::insert("A", 1, 5), &mut out); // 2nd occurrence
+        lm.push(StreamId(1), &Element::insert("A", 1, 5), &mut out); // 3rd occurrence
+        lm.push(StreamId(0), &Element::insert("A", 1, 5), &mut out); // dup of 2nd
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn counts_reset_on_new_timestamp() {
+        let mut lm = LMergeR2::new(1);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &Element::insert("A", 1, 5), &mut out);
+        lm.push(StreamId(0), &Element::insert("A", 1, 5), &mut out);
+        lm.push(StreamId(0), &Element::insert("A", 2, 6), &mut out);
+        lm.push(StreamId(0), &Element::insert("A", 2, 6), &mut out);
+        assert_eq!(out.len(), 4, "each timestamp counts separately");
+    }
+}

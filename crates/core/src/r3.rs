@@ -1,0 +1,536 @@
+//! Algorithm R3 (the paper's preferred `LMR3+`): LMerge over streams with
+//! arbitrary element kinds and order, where `(Vs, Payload)` is a key
+//! (paper Section IV-D, Algorithm R3).
+//!
+//! State is the [`In2t`] index. Inserts are reflected eagerly (under the
+//! default policy); adjusts are absorbed silently; divergence between the
+//! output and the inputs is corrected *only* when a `stable` element would
+//! otherwise freeze it — which is what yields the paper's Theorem 1
+//! non-chattiness bound.
+
+use crate::api::LogicalMerge;
+use crate::in2t::In2t;
+use crate::inputs::Inputs;
+use crate::policy::{AdjustPolicy, InsertPolicy, MergePolicy};
+use crate::stats::MergeStats;
+use lmerge_properties::RLevel;
+use lmerge_temporal::{Element, Payload, StreamId, Time};
+
+/// The R3 merge over the shared two-tier index (`LMR3+`).
+///
+/// ```
+/// use lmerge_core::{LMergeR3, LogicalMerge};
+/// use lmerge_temporal::{Element, StreamId, Time};
+///
+/// let mut lm: LMergeR3<&str> = LMergeR3::new(2);
+/// let mut out = Vec::new();
+/// // Two inputs disagree on A's end time; the first presentation flows.
+/// lm.push(StreamId(0), &Element::insert("A", 6, 7), &mut out);
+/// lm.push(StreamId(1), &Element::insert("A", 6, 12), &mut out);
+/// assert_eq!(out.len(), 1);
+/// // Punctuation forces reconciliation before freezing.
+/// lm.push(StreamId(1), &Element::stable(20), &mut out);
+/// assert_eq!(out[1], Element::adjust("A", 6, 7, 12));
+/// assert_eq!(lm.max_stable(), Time(20));
+/// ```
+#[derive(Debug)]
+pub struct LMergeR3<P: Payload> {
+    index: In2t<P>,
+    max_stable: Time,
+    policy: MergePolicy,
+    inputs: Inputs,
+    stats: MergeStats,
+    /// The stream that last advanced `MaxStable` (drives `FollowLeader`).
+    leader: Option<StreamId>,
+}
+
+impl<P: Payload> LMergeR3<P> {
+    /// An R3 merge over `n` initially attached inputs, default policy.
+    pub fn new(n: usize) -> LMergeR3<P> {
+        LMergeR3::with_policy(n, MergePolicy::paper_default())
+    }
+
+    /// An R3 merge with an explicit policy bundle (Section V-A).
+    pub fn with_policy(n: usize, policy: MergePolicy) -> LMergeR3<P> {
+        LMergeR3 {
+            index: In2t::new(),
+            max_stable: Time::MIN,
+            policy,
+            inputs: Inputs::new(n),
+            stats: MergeStats::default(),
+            leader: None,
+        }
+    }
+
+    /// Number of live `(Vs, Payload)` nodes (the paper's `w`).
+    pub fn live_nodes(&self) -> usize {
+        self.index.len()
+    }
+
+    fn on_insert(&mut self, s: StreamId, e: &lmerge_temporal::Event<P>, out: &mut Vec<Element<P>>) {
+        match self.index.get_mut(e.vs, &e.payload) {
+            None => {
+                // Line 6: a missing node below MaxStable was already frozen
+                // (and possibly deleted); the element is stale.
+                if e.vs < self.max_stable {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                let emit = match self.policy.insert {
+                    InsertPolicy::Immediate => true,
+                    InsertPolicy::WaitHalfFrozen => false,
+                    InsertPolicy::Quorum(k) => 1 >= k,
+                    // Before any punctuation there is no leader; stay
+                    // responsive and treat every input as leading.
+                    InsertPolicy::FollowLeader => self.leader.is_none_or(|l| l == s),
+                };
+                let node = self.index.add_node(e.vs, e.payload.clone());
+                node.set_input(s, e.ve);
+                if emit {
+                    node.output_ve = Some(e.ve);
+                }
+                self.index.note_entry_added();
+                if emit {
+                    self.stats.inserts_out += 1;
+                    out.push(Element::Insert(e.clone()));
+                } else {
+                    self.stats.dropped += 1;
+                }
+            }
+            Some(node) => {
+                // Line 12: another input already brought the event; just
+                // record this stream's view of its end time.
+                let was_new = node.set_input(s, e.ve);
+                if was_new {
+                    self.index.note_entry_added();
+                }
+                // A pending Quorum policy may now be satisfied.
+                let node = self.index.get_mut(e.vs, &e.payload).expect("node exists");
+                if node.output_ve.is_none() {
+                    let emit_now = match self.policy.insert {
+                        InsertPolicy::Quorum(k) => node.support() >= k,
+                        InsertPolicy::FollowLeader => self.leader.is_none_or(|l| l == s),
+                        _ => false,
+                    };
+                    if emit_now {
+                        node.output_ve = Some(e.ve);
+                        self.stats.inserts_out += 1;
+                        out.push(Element::Insert(e.clone()));
+                        return;
+                    }
+                }
+                self.stats.dropped += 1;
+            }
+        }
+    }
+
+    fn on_adjust(
+        &mut self,
+        s: StreamId,
+        payload: &P,
+        vs: Time,
+        ve: Time,
+        out: &mut Vec<Element<P>>,
+    ) {
+        // Line 13: adjusts for unknown nodes are stale — drop.
+        let max_stable = self.max_stable;
+        let Some(node) = self.index.get_mut(vs, payload) else {
+            self.stats.dropped += 1;
+            return;
+        };
+        if node.set_input(s, ve) {
+            self.index.note_entry_added();
+        }
+        // Location 1 (Section V-A): the default policy absorbs the adjust;
+        // the eager policy reflects it immediately when doing so cannot
+        // contradict the output's stable point.
+        if self.policy.adjust == AdjustPolicy::Eager {
+            let node = self.index.get_mut(vs, payload).expect("node exists");
+            if let Some(out_ve) = node.output_ve {
+                // The new end must itself respect the output's stable point
+                // (a removal counts as legal only while Vs is unfrozen).
+                let legal = if ve == vs {
+                    vs >= max_stable
+                } else {
+                    ve >= max_stable
+                };
+                if legal && out_ve != ve {
+                    // A removal (ve == vs) takes the event out of the
+                    // output entirely: the node reverts to "not emitted"
+                    // so later activity may legally re-insert it.
+                    node.output_ve = if ve == vs { None } else { Some(ve) };
+                    self.stats.adjusts_out += 1;
+                    out.push(Element::adjust(payload.clone(), vs, out_ve, ve));
+                }
+            }
+        }
+    }
+
+    fn on_stable(&mut self, s: StreamId, t: Time, out: &mut Vec<Element<P>>) {
+        let t = self.policy.stable.effective(t);
+        // Line 16: only stables that advance MaxStable do work.
+        if t <= self.max_stable {
+            return;
+        }
+        // Lines 17–27: reconcile every node that is (or becomes) half frozen
+        // with the view of the stream that is driving progress.
+        for (vs, payload) in self.index.half_frozen_keys(t) {
+            let node = self.index.get_mut(vs, &payload).expect("key just scanned");
+            // Line 20: if the driving stream lacks the event entirely, its
+            // effective end time is Vs — i.e. the event does not exist.
+            let in_ve = node.input_ve(s).unwrap_or(vs);
+            // Emitting the correction must keep the output stream well
+            // formed w.r.t. its *current* stable point. Mutually consistent
+            // inputs always satisfy this; the guard protects the output if
+            // an input lies.
+            let legal = if in_ve == vs {
+                vs >= self.max_stable
+            } else {
+                in_ve >= self.max_stable
+            };
+            match node.output_ve {
+                Some(out_ve) => {
+                    // Lines 22–25: correct the output only when the
+                    // divergence is about to become unfixable.
+                    if legal && in_ve != out_ve && (in_ve < t || out_ve < t) {
+                        node.output_ve = Some(in_ve);
+                        self.stats.adjusts_out += 1;
+                        out.push(Element::adjust(payload.clone(), vs, out_ve, in_ve));
+                    }
+                }
+                None => {
+                    // Deferred-insert policies: the event's existence is now
+                    // settled, so it must be emitted before the stable.
+                    if in_ve != vs && vs >= self.max_stable {
+                        node.output_ve = Some(in_ve);
+                        self.stats.inserts_out += 1;
+                        out.push(Element::insert(payload.clone(), vs, in_ve));
+                    }
+                }
+            }
+            // Lines 26–27: fully frozen (or nonexistent) per the driving
+            // stream — the node is settled and can be dropped.
+            if in_ve < t {
+                self.index.remove(vs, &payload);
+            }
+        }
+        // Lines 28–29. This stream is now the leading one.
+        self.leader = Some(s);
+        self.max_stable = t;
+        self.inputs.on_stable_advance(t);
+        self.stats.stables_out += 1;
+        out.push(Element::Stable(t));
+    }
+}
+
+impl<P: Payload> LogicalMerge<P> for LMergeR3<P> {
+    fn push(&mut self, input: StreamId, element: &Element<P>, out: &mut Vec<Element<P>>) {
+        match element {
+            Element::Insert(e) => {
+                self.stats.inserts_in += 1;
+                if !self.inputs.accepts_data(input) {
+                    return;
+                }
+                self.on_insert(input, e, out);
+            }
+            Element::Adjust {
+                payload, vs, ve, ..
+            } => {
+                self.stats.adjusts_in += 1;
+                if !self.inputs.accepts_data(input) {
+                    return;
+                }
+                self.on_adjust(input, payload, *vs, *ve, out);
+            }
+            Element::Stable(t) => {
+                self.stats.stables_in += 1;
+                if !self.inputs.accepts_stable(input) {
+                    return;
+                }
+                self.on_stable(input, *t, out);
+            }
+        }
+    }
+
+    fn attach(&mut self, join_time: Time) -> StreamId {
+        self.inputs.attach(join_time)
+    }
+
+    fn detach(&mut self, input: StreamId) {
+        self.inputs.detach(input);
+        self.index.purge_stream(input);
+    }
+
+    fn max_stable(&self) -> Time {
+        self.max_stable
+    }
+
+    fn stats(&self) -> MergeStats {
+        self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.index.memory_bytes() + self.inputs.memory_bytes()
+    }
+
+    fn level(&self) -> RLevel {
+        RLevel::R3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmerge_temporal::reconstitute::tdb_of;
+
+    type E = Element<&'static str>;
+
+    #[test]
+    fn first_insert_wins_divergent_ends_reconciled_on_stable() {
+        let mut lm = LMergeR3::new(2);
+        let mut out = Vec::new();
+        // Input 0 believes A ends at 7; input 1 knows it ends at 12.
+        lm.push(StreamId(0), &E::insert("A", 6, 7), &mut out);
+        lm.push(StreamId(1), &E::insert("A", 6, 12), &mut out);
+        assert_eq!(out, vec![E::insert("A", 6, 7)], "first presentation flows");
+        // Input 1 drives progress; output must be corrected to 12 before
+        // the stable freezes it at 7.
+        lm.push(StreamId(1), &E::stable(20), &mut out);
+        assert_eq!(
+            out[1..],
+            [E::adjust("A", 6, 7, 12), E::stable(20)],
+            "divergence fixed exactly when it would freeze"
+        );
+        let tdb = tdb_of(&out).unwrap();
+        assert_eq!(tdb.count(&"A", Time(6), Time(12)), 1);
+    }
+
+    #[test]
+    fn adjusts_are_absorbed_lazily() {
+        let mut lm = LMergeR3::new(1);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 6, 20), &mut out);
+        lm.push(StreamId(0), &E::adjust("A", 6, 20, 30), &mut out);
+        lm.push(StreamId(0), &E::adjust("A", 6, 30, 25), &mut out);
+        assert_eq!(out.len(), 1, "no chatty intermediate adjusts");
+        lm.push(StreamId(0), &E::stable(40), &mut out);
+        // One corrective adjust to the final value, then the stable.
+        assert_eq!(out[1..], [E::adjust("A", 6, 20, 25), E::stable(40)]);
+    }
+
+    #[test]
+    fn eager_policy_reflects_adjusts() {
+        let mut lm = LMergeR3::with_policy(1, MergePolicy::eager());
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 6, 20), &mut out);
+        lm.push(StreamId(0), &E::adjust("A", 6, 20, 30), &mut out);
+        assert_eq!(out[1], E::adjust("A", 6, 20, 30));
+    }
+
+    #[test]
+    fn missing_event_in_driving_stream_is_deleted() {
+        let mut lm = LMergeR3::new(2);
+        let mut out = Vec::new();
+        // Input 0 produced a spurious unfrozen event input 1 never saw.
+        lm.push(StreamId(0), &E::insert("X", 5, 9), &mut out);
+        lm.push(StreamId(1), &E::stable(10), &mut out);
+        // The output deletes X (adjust to Ve = Vs) before freezing past it.
+        assert_eq!(
+            out[1..],
+            [E::adjust("X", 5, 9, 5), E::stable(10)],
+            "event cancelled when progress-driving stream lacks it"
+        );
+        assert!(tdb_of(&out).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stale_insert_after_freeze_is_dropped() {
+        let mut lm = LMergeR3::new(2);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 5, 8), &mut out);
+        lm.push(StreamId(0), &E::stable(10), &mut out);
+        out.clear();
+        // Input 1 lags and replays A — already settled.
+        lm.push(StreamId(1), &E::insert("A", 5, 8), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(lm.stats().dropped, 1);
+    }
+
+    #[test]
+    fn wait_half_frozen_policy_defers_output() {
+        let mut lm = LMergeR3::with_policy(1, MergePolicy::conservative());
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 6, 20), &mut out);
+        assert!(out.is_empty(), "conservative: nothing until half frozen");
+        lm.push(StreamId(0), &E::stable(10), &mut out);
+        assert_eq!(out, vec![E::insert("A", 6, 20), E::stable(10)]);
+    }
+
+    #[test]
+    fn quorum_policy_waits_for_agreement() {
+        let mut lm = LMergeR3::with_policy(
+            3,
+            MergePolicy {
+                insert: InsertPolicy::Quorum(2),
+                ..Default::default()
+            },
+        );
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 6, 20), &mut out);
+        assert!(out.is_empty());
+        lm.push(StreamId(1), &E::insert("A", 6, 20), &mut out);
+        assert_eq!(out, vec![E::insert("A", 6, 20)], "second input confirms");
+    }
+
+    #[test]
+    fn theorem1_non_chattiness() {
+        // Torture the operator with adjust-heavy inputs; Theorem 1's bound
+        // (outputs ≤ inserts received; stables out ≤ stables in) must hold.
+        let mut lm = LMergeR3::new(2);
+        let mut out = Vec::new();
+        for i in 0..100i64 {
+            for s in 0..2u32 {
+                lm.push(StreamId(s), &E::insert("k", i, i + 10), &mut out);
+                lm.push(StreamId(s), &E::adjust("k", i, i + 10, i + 5), &mut out);
+                lm.push(StreamId(s), &E::adjust("k", i, i + 5, i + 8), &mut out);
+            }
+            lm.push(StreamId(0), &E::stable(i), &mut out);
+        }
+        assert!(lm.stats().satisfies_theorem1(), "{:?}", lm.stats());
+    }
+
+    #[test]
+    fn nodes_are_freed_when_fully_frozen() {
+        let mut lm = LMergeR3::new(1);
+        let mut out = Vec::new();
+        for i in 0..50i64 {
+            lm.push(StreamId(0), &E::insert("k", i, i + 1), &mut out);
+        }
+        assert_eq!(lm.live_nodes(), 50);
+        lm.push(StreamId(0), &E::stable(100), &mut out);
+        assert_eq!(lm.live_nodes(), 0, "everything fully frozen and purged");
+    }
+
+    #[test]
+    fn detach_purges_stream_state() {
+        let mut lm = LMergeR3::new(2);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 6, 7), &mut out);
+        lm.push(StreamId(1), &E::insert("A", 6, 12), &mut out);
+        lm.detach(StreamId(0));
+        // Stream 1 now drives everything; its view (12) wins at freeze time.
+        lm.push(StreamId(1), &E::stable(20), &mut out);
+        let tdb = tdb_of(&out).unwrap();
+        assert_eq!(tdb.count(&"A", Time(6), Time(12)), 1);
+    }
+
+    #[test]
+    fn output_reconstitutes_to_input_tdb() {
+        // Phy1/Phy2 of Table I (translated to the StreamInsight model).
+        let phy1: Vec<E> = vec![
+            E::insert("B", 8, Time::INFINITY),
+            E::insert("A", 6, 12),
+            E::adjust("B", 8, Time::INFINITY, Time(10)),
+            E::stable(11),
+            E::stable(Time::INFINITY),
+        ];
+        let phy2: Vec<E> = vec![
+            E::insert("A", 6, 7),
+            E::insert("B", 8, 15),
+            E::adjust("A", 6, 7, 12),
+            E::adjust("B", 8, 15, 10),
+            E::stable(Time::INFINITY),
+        ];
+        let mut lm = LMergeR3::new(2);
+        let mut out = Vec::new();
+        // Interleave the two physical streams.
+        let mut i1 = phy1.iter();
+        let mut i2 = phy2.iter();
+        loop {
+            match (i1.next(), i2.next()) {
+                (None, None) => break,
+                (a, b) => {
+                    if let Some(e) = a {
+                        lm.push(StreamId(0), e, &mut out);
+                    }
+                    if let Some(e) = b {
+                        lm.push(StreamId(1), e, &mut out);
+                    }
+                }
+            }
+        }
+        let tdb = tdb_of(&out).unwrap();
+        assert_eq!(tdb.count(&"A", Time(6), Time(12)), 1);
+        assert_eq!(tdb.count(&"B", Time(8), Time(10)), 1);
+        assert_eq!(tdb.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod follow_leader_tests {
+    use super::*;
+    use lmerge_temporal::reconstitute::tdb_of;
+
+    type E = Element<&'static str>;
+
+    #[test]
+    fn only_leader_drives_output() {
+        let mut lm = LMergeR3::with_policy(
+            2,
+            MergePolicy {
+                insert: InsertPolicy::FollowLeader,
+                ..Default::default()
+            },
+        );
+        let mut out = Vec::new();
+        // Stream 1 establishes itself as the leader.
+        lm.push(StreamId(1), &E::insert("A", 1, 9), &mut out);
+        lm.push(StreamId(1), &E::stable(2), &mut out);
+        out.clear();
+        // A follower's new event is recorded but not emitted …
+        lm.push(StreamId(0), &E::insert("B", 5, 12), &mut out);
+        assert!(out.is_empty(), "follower must not drive output");
+        // … until the leader produces it.
+        lm.push(StreamId(1), &E::insert("B", 5, 12), &mut out);
+        assert_eq!(out, vec![E::insert("B", 5, 12)]);
+    }
+
+    #[test]
+    fn leadership_moves_with_the_stable_frontier() {
+        let mut lm: LMergeR3<&str> = LMergeR3::with_policy(
+            2,
+            MergePolicy {
+                insert: InsertPolicy::FollowLeader,
+                ..Default::default()
+            },
+        );
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::stable(5), &mut out);
+        lm.push(StreamId(1), &E::stable(10), &mut out);
+        out.clear();
+        // Stream 1 leads now.
+        lm.push(StreamId(0), &E::insert("X", 20, 30), &mut out);
+        assert!(out.is_empty());
+        lm.push(StreamId(1), &E::insert("Y", 21, 31), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn follower_only_events_recovered_at_freeze() {
+        let mut lm: LMergeR3<&str> = LMergeR3::with_policy(
+            2,
+            MergePolicy {
+                insert: InsertPolicy::FollowLeader,
+                ..Default::default()
+            },
+        );
+        let mut out = Vec::new();
+        lm.push(StreamId(1), &E::stable(1), &mut out);
+        // Only the follower carries A before the freeze …
+        lm.push(StreamId(0), &E::insert("A", 2, 4), &mut out);
+        // … and the follower then becomes the one driving progress.
+        lm.push(StreamId(0), &E::stable(10), &mut out);
+        let tdb = tdb_of(&out).unwrap();
+        assert_eq!(tdb.count(&"A", Time(2), Time(4)), 1, "A must not be lost");
+    }
+}

@@ -1,0 +1,342 @@
+//! `LMR3−`: the naive R3 baseline of the paper's evaluation (Section VI-A).
+//!
+//! "Events from each input stream are maintained in a separate index, with
+//! another index used to hold output events. … While this algorithm is
+//! simpler to implement, it duplicates event information across input
+//! streams and requires multiple tree lookups at runtime."
+//!
+//! It produces the same output as [`crate::LMergeR3`] under the default
+//! policy, but its memory grows linearly with the number of inputs (each
+//! input's index stores its own copy of every live payload) — the contrast
+//! Figures 2 and 7 measure.
+
+use crate::api::LogicalMerge;
+use crate::inputs::Inputs;
+use crate::stats::MergeStats;
+use lmerge_properties::RLevel;
+use lmerge_temporal::{Element, Payload, StreamId, Time};
+use std::collections::{BTreeMap, HashMap};
+
+/// One per-stream event index: `Vs → (Payload → Ve)`, payloads owned.
+#[derive(Debug, Default)]
+struct EventIndex<P: Payload> {
+    map: BTreeMap<Time, HashMap<P, Time>>,
+    payload_bytes: usize,
+    entries: usize,
+}
+
+impl<P: Payload> EventIndex<P> {
+    fn new() -> Self {
+        EventIndex {
+            map: BTreeMap::new(),
+            payload_bytes: 0,
+            entries: 0,
+        }
+    }
+
+    fn get(&self, vs: Time, p: &P) -> Option<Time> {
+        self.map.get(&vs).and_then(|m| m.get(p)).copied()
+    }
+
+    fn set(&mut self, vs: Time, p: &P, ve: Time) {
+        let m = self.map.entry(vs).or_default();
+        if m.insert(p.clone(), ve).is_none() {
+            // Each index stores its own payload copy — the duplication that
+            // makes LMR3− degrade linearly with the number of inputs.
+            self.payload_bytes += p.heap_bytes();
+            self.entries += 1;
+        }
+    }
+
+    fn remove(&mut self, vs: Time, p: &P) {
+        if let Some(m) = self.map.get_mut(&vs) {
+            if m.remove(p).is_some() {
+                self.payload_bytes -= p.heap_bytes();
+                self.entries -= 1;
+            }
+            if m.is_empty() {
+                self.map.remove(&vs);
+            }
+        }
+    }
+
+    /// All `(vs, payload, ve)` with `vs < t`, cloned for safe mutation.
+    fn before(&self, t: Time) -> Vec<(Time, P, Time)> {
+        self.map
+            .range(..t)
+            .flat_map(|(vs, m)| m.iter().map(move |(p, ve)| (*vs, p.clone(), *ve)))
+            .collect()
+    }
+
+    /// Purge entries fully frozen by `t` (both `vs` and recorded `ve` < `t`).
+    fn purge_frozen(&mut self, t: Time) {
+        let keys: Vec<Time> = self.map.range(..t).map(|(vs, _)| *vs).collect();
+        for vs in keys {
+            let m = self.map.get_mut(&vs).expect("key just scanned");
+            let dead: Vec<P> = m
+                .iter()
+                .filter(|(_, ve)| **ve < t)
+                .map(|(p, _)| p.clone())
+                .collect();
+            for p in dead {
+                m.remove(&p);
+                self.payload_bytes -= p.heap_bytes();
+                self.entries -= 1;
+            }
+            if m.is_empty() {
+                self.map.remove(&vs);
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        const TIER_OVERHEAD: usize = 48;
+        const ENTRY_OVERHEAD: usize = 32;
+        self.map.len() * TIER_OVERHEAD
+            + self.entries * (std::mem::size_of::<(P, Time)>() + ENTRY_OVERHEAD)
+            + self.payload_bytes
+    }
+}
+
+/// The naive R3 merge with per-input event indexes (`LMR3−`).
+#[derive(Debug)]
+pub struct LMergeR3Naive<P: Payload> {
+    per_input: Vec<EventIndex<P>>,
+    output: EventIndex<P>,
+    max_stable: Time,
+    inputs: Inputs,
+    stats: MergeStats,
+}
+
+impl<P: Payload> LMergeR3Naive<P> {
+    /// A naive R3 merge over `n` initially attached inputs.
+    pub fn new(n: usize) -> LMergeR3Naive<P> {
+        LMergeR3Naive {
+            per_input: (0..n).map(|_| EventIndex::new()).collect(),
+            output: EventIndex::new(),
+            max_stable: Time::MIN,
+            inputs: Inputs::new(n),
+            stats: MergeStats::default(),
+        }
+    }
+
+    fn index_for(&mut self, s: StreamId) -> &mut EventIndex<P> {
+        let i = s.0 as usize;
+        if i >= self.per_input.len() {
+            self.per_input.resize_with(i + 1, EventIndex::new);
+        }
+        &mut self.per_input[i]
+    }
+}
+
+impl<P: Payload> LogicalMerge<P> for LMergeR3Naive<P> {
+    fn push(&mut self, input: StreamId, element: &Element<P>, out: &mut Vec<Element<P>>) {
+        match element {
+            Element::Insert(e) => {
+                self.stats.inserts_in += 1;
+                if !self.inputs.accepts_data(input) {
+                    return;
+                }
+                // Tree lookup #1: is the event already settled (fully
+                // frozen and purged)? Half-frozen events must still be
+                // recorded — the input's view of their end time matters.
+                let known = self.output.get(e.vs, &e.payload).is_some();
+                if e.vs < self.max_stable && !known {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                // Tree lookup #2: record in the input's own index (a full
+                // payload copy — LMR3−'s defining memory cost).
+                self.index_for(input).set(e.vs, &e.payload, e.ve);
+                if !known {
+                    self.output.set(e.vs, &e.payload, e.ve);
+                    self.stats.inserts_out += 1;
+                    out.push(Element::Insert(e.clone()));
+                } else {
+                    self.stats.dropped += 1;
+                }
+            }
+            Element::Adjust {
+                payload, vs, ve, ..
+            } => {
+                self.stats.adjusts_in += 1;
+                if !self.inputs.accepts_data(input) {
+                    return;
+                }
+                if *vs < self.max_stable && self.output.get(*vs, payload).is_none() {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                self.index_for(input).set(*vs, payload, *ve);
+            }
+            Element::Stable(t) => {
+                self.stats.stables_in += 1;
+                if !self.inputs.accepts_stable(input) {
+                    return;
+                }
+                let t = *t;
+                if t <= self.max_stable {
+                    return;
+                }
+                // Reconcile the output with the progress-driving input.
+                let driving = self.index_for(input).before(t);
+                let mut driven: HashMap<(Time, P), Time> = HashMap::new();
+                for (vs, p, in_ve) in driving {
+                    driven.insert((vs, p.clone()), in_ve);
+                    let out_ve = self.output.get(vs, &p);
+                    match out_ve {
+                        Some(o)
+                            if o != in_ve && (in_ve < t || o < t) && in_ve >= self.max_stable =>
+                        {
+                            self.output.set(vs, &p, in_ve);
+                            self.stats.adjusts_out += 1;
+                            out.push(Element::adjust(p.clone(), vs, o, in_ve));
+                        }
+                        None if vs >= self.max_stable => {
+                            // The driving input has an event the output never
+                            // carried (possible after attach/detach churn).
+                            self.output.set(vs, &p, in_ve);
+                            self.stats.inserts_out += 1;
+                            out.push(Element::insert(p.clone(), vs, in_ve));
+                        }
+                        _ => {}
+                    }
+                }
+                // Output events the driving input lacks are spurious: delete
+                // them before freezing past their Vs.
+                for (vs, p, o) in self.output.before(t) {
+                    if !driven.contains_key(&(vs, p.clone())) && vs >= self.max_stable {
+                        self.output.remove(vs, &p);
+                        self.stats.adjusts_out += 1;
+                        out.push(Element::adjust(p.clone(), vs, o, vs));
+                    }
+                }
+                // Purge fully frozen entries everywhere.
+                for ix in &mut self.per_input {
+                    ix.purge_frozen(t);
+                }
+                self.output.purge_frozen(t);
+                self.max_stable = t;
+                self.inputs.on_stable_advance(t);
+                self.stats.stables_out += 1;
+                out.push(Element::Stable(t));
+            }
+        }
+    }
+
+    fn attach(&mut self, join_time: Time) -> StreamId {
+        let id = self.inputs.attach(join_time);
+        self.per_input
+            .resize_with(self.inputs.allocated(), EventIndex::new);
+        id
+    }
+
+    fn detach(&mut self, input: StreamId) {
+        self.inputs.detach(input);
+        if let Some(ix) = self.per_input.get_mut(input.0 as usize) {
+            *ix = EventIndex::new();
+        }
+    }
+
+    fn max_stable(&self) -> Time {
+        self.max_stable
+    }
+
+    fn stats(&self) -> MergeStats {
+        self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .per_input
+                .iter()
+                .map(EventIndex::memory_bytes)
+                .sum::<usize>()
+            + self.output.memory_bytes()
+            + self.inputs.memory_bytes()
+    }
+
+    fn level(&self) -> RLevel {
+        RLevel::R3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmerge_temporal::reconstitute::tdb_of;
+
+    type E = Element<&'static str>;
+
+    #[test]
+    fn matches_lmr3_on_divergent_ends() {
+        let mut lm = LMergeR3Naive::new(2);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 6, 7), &mut out);
+        lm.push(StreamId(1), &E::insert("A", 6, 12), &mut out);
+        lm.push(StreamId(1), &E::stable(20), &mut out);
+        let tdb = tdb_of(&out).unwrap();
+        assert_eq!(tdb.count(&"A", Time(6), Time(12)), 1);
+    }
+
+    #[test]
+    fn spurious_event_deleted_on_stable() {
+        let mut lm = LMergeR3Naive::new(2);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("X", 5, 9), &mut out);
+        lm.push(StreamId(1), &E::stable(10), &mut out);
+        assert!(tdb_of(&out).unwrap().is_empty());
+    }
+
+    #[test]
+    fn memory_grows_with_inputs() {
+        use lmerge_temporal::Value;
+        // Same workload into 2 vs 8 inputs: LMR3− duplicates payloads.
+        let mem_for = |n: usize| {
+            let mut lm = LMergeR3Naive::new(n);
+            let mut out = Vec::new();
+            for s in 0..n as u32 {
+                for i in 0..100 {
+                    lm.push(
+                        StreamId(s),
+                        &Element::insert(Value::synthetic(i, 1000), i as i64, 1_000_000),
+                        &mut out,
+                    );
+                }
+            }
+            lm.memory_bytes()
+        };
+        let m2 = mem_for(2);
+        let m8 = mem_for(8);
+        // 2 inputs + output index = 3 payload-holding indexes; 8 inputs + 1
+        // = 9: the expected ratio is ~3×.
+        assert!(
+            m8 as f64 > 2.5 * m2 as f64,
+            "expected near-linear growth: {m2} → {m8}"
+        );
+    }
+
+    #[test]
+    fn purges_frozen_state() {
+        let mut lm = LMergeR3Naive::new(1);
+        let mut out = Vec::new();
+        for i in 0..50i64 {
+            lm.push(StreamId(0), &E::insert("k", i, i + 1), &mut out);
+        }
+        let before = lm.memory_bytes();
+        lm.push(StreamId(0), &E::stable(100), &mut out);
+        assert!(lm.memory_bytes() < before);
+    }
+
+    #[test]
+    fn lazy_adjust_semantics_match_paper() {
+        let mut lm = LMergeR3Naive::new(1);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 6, 20), &mut out);
+        lm.push(StreamId(0), &E::adjust("A", 6, 20, 25), &mut out);
+        assert_eq!(out.len(), 1, "adjust absorbed");
+        lm.push(StreamId(0), &E::stable(40), &mut out);
+        assert_eq!(out[1..], [E::adjust("A", 6, 20, 25), E::stable(40)]);
+    }
+}

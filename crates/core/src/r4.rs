@@ -1,0 +1,452 @@
+//! Algorithm R4: the fully general LMerge (paper Section IV-E).
+//!
+//! No restrictions at all: any element kinds in any order, and the TDB is a
+//! *multiset* — many events may share `(Vs, Payload)` with different (or
+//! equal) `Ve`s. State is the [`In3t`] index; the reconciliation steps are
+//! the paper's `AdjustOutputCount()` (equalize the number of output events
+//! per key when the key first becomes half frozen) and `AdjustOutput()`
+//! (make the output's fully-frozen `Ve` buckets match the progress-driving
+//! input exactly before propagating a `stable`).
+
+use crate::api::LogicalMerge;
+use crate::in3t::In3t;
+use crate::inputs::Inputs;
+use crate::stats::MergeStats;
+use lmerge_properties::RLevel;
+use lmerge_temporal::{Element, Payload, StreamId, Time};
+
+/// The R4 merge over the three-tier index.
+#[derive(Debug)]
+pub struct LMergeR4<P: Payload> {
+    index: In3t<P>,
+    max_stable: Time,
+    inputs: Inputs,
+    stats: MergeStats,
+}
+
+impl<P: Payload> LMergeR4<P> {
+    /// An R4 merge over `n` initially attached inputs.
+    pub fn new(n: usize) -> LMergeR4<P> {
+        LMergeR4 {
+            index: In3t::new(),
+            max_stable: Time::MIN,
+            inputs: Inputs::new(n),
+            stats: MergeStats::default(),
+        }
+    }
+
+    /// Number of live `(Vs, Payload)` nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `AdjustOutputCount`: when `(vs, payload)` first becomes half frozen,
+    /// force the *number* of output events for the key to equal the number
+    /// in the progress-driving input `s`.
+    fn adjust_output_count(
+        &mut self,
+        vs: Time,
+        payload: &P,
+        s: StreamId,
+        out: &mut Vec<Element<P>>,
+    ) {
+        let node = self.index.get_mut(vs, payload).expect("node exists");
+        let target = node.count_of(s);
+        // Too many output events: cancel, preferring buckets the input does
+        // not support (largest Ve first — most speculative).
+        while node.count_out() > target {
+            let in_counts = node.per_input.get(&s.0).cloned().unwrap_or_default();
+            let victim = node
+                .output
+                .iter()
+                .rev()
+                .find(|(ve, c)| **c > in_counts.get(ve).copied().unwrap_or(0))
+                .or_else(|| node.output.iter().next_back())
+                .map(|(ve, _)| *ve)
+                .expect("count_out > 0 implies a bucket");
+            node.out_decrement(victim);
+            self.stats.adjusts_out += 1;
+            out.push(Element::adjust(payload.clone(), vs, victim, vs));
+        }
+        // Too few: emit inserts with Ve values the input has and we lack.
+        while node.count_out() < target {
+            let ve = {
+                let in_counts = node.per_input.get(&s.0).expect("target > 0");
+                in_counts
+                    .iter()
+                    .find(|(ve, c)| **c > node.output.get(ve).copied().unwrap_or(0))
+                    .map(|(ve, _)| *ve)
+                    .expect("input total exceeds output total")
+            };
+            node.out_increment(ve);
+            self.stats.inserts_out += 1;
+            out.push(Element::insert(payload.clone(), vs, ve));
+        }
+    }
+
+    /// `AdjustOutput`: before a `stable(t)` freezes them, make every output
+    /// `Ve` bucket with `Ve < t` hold exactly as many events as the driving
+    /// input's bucket, by re-aiming surplus output events at deficit buckets
+    /// (and parking leftovers at an unfrozen `Ve`).
+    fn adjust_output(
+        &mut self,
+        vs: Time,
+        payload: &P,
+        s: StreamId,
+        t: Time,
+        out: &mut Vec<Element<P>>,
+    ) {
+        let old_stable = self.max_stable;
+        let node = self.index.get_mut(vs, payload).expect("node exists");
+        let in_counts = node.per_input.get(&s.0).cloned().unwrap_or_default();
+
+        // Donor pool: output events that must move (bucket over-full in the
+        // about-to-freeze region), one entry per surplus event.
+        let mut donors: Vec<Time> = Vec::new();
+        // Deficits: (ve, how many more output events needed there).
+        let mut deficits: Vec<(Time, usize)> = Vec::new();
+        for (ve, in_c) in in_counts.range(..t) {
+            let out_c = node.output.get(ve).copied().unwrap_or(0);
+            if out_c < *in_c {
+                deficits.push((*ve, in_c - out_c));
+            }
+        }
+        for (ve, out_c) in node.output.range(..t) {
+            let in_c = in_counts.get(ve).copied().unwrap_or(0);
+            for _ in in_c..*out_c {
+                donors.push(*ve);
+            }
+        }
+
+        // Fill deficits from donors first, then from unfrozen output events.
+        for (ve_d, mut need) in deficits {
+            if ve_d < old_stable {
+                // An already-frozen bucket can only mismatch if the inputs
+                // were inconsistent; re-freezing differently would corrupt
+                // the output stream, so leave it.
+                continue;
+            }
+            while need > 0 {
+                let donor = donors.pop().or_else(|| {
+                    // Borrow an output event parked at an unfrozen Ve.
+                    node.output.range(t..).next_back().map(|(ve, _)| *ve)
+                });
+                match donor {
+                    Some(ve_o) => {
+                        node.out_decrement(ve_o);
+                        node.out_increment(ve_d);
+                        self.stats.adjusts_out += 1;
+                        out.push(Element::adjust(payload.clone(), vs, ve_o, ve_d));
+                    }
+                    None if vs >= old_stable => {
+                        // No event to repurpose: materialize one.
+                        node.out_increment(ve_d);
+                        self.stats.inserts_out += 1;
+                        out.push(Element::insert(payload.clone(), vs, ve_d));
+                    }
+                    None => break,
+                }
+                need -= 1;
+            }
+        }
+
+        // Park leftover surplus events at an unfrozen end time, preferring a
+        // Ve the driving input actually holds (fewer corrections later).
+        for ve_o in donors {
+            let target = node
+                .per_input
+                .get(&s.0)
+                .and_then(|m| {
+                    m.range(t..)
+                        .find(|(ve, c)| **c > node.output.get(ve).copied().unwrap_or(0))
+                        .map(|(ve, _)| *ve)
+                })
+                .unwrap_or(Time::INFINITY);
+            node.out_decrement(ve_o);
+            node.out_increment(target);
+            self.stats.adjusts_out += 1;
+            out.push(Element::adjust(payload.clone(), vs, ve_o, target));
+        }
+    }
+
+    fn on_stable(&mut self, s: StreamId, t: Time, out: &mut Vec<Element<P>>) {
+        if t <= self.max_stable {
+            return;
+        }
+        for (vs, payload) in self.index.half_frozen_keys(t) {
+            // Lines 20–22: first half-freeze of the key → equalize counts.
+            if vs >= self.max_stable {
+                self.adjust_output_count(vs, &payload, s, out);
+            }
+            // Lines 23–26: make freezing buckets match exactly.
+            self.adjust_output(vs, &payload, s, t, out);
+            // Lines 27–28: everything for the key fully frozen → drop it.
+            let node = self.index.get(vs, &payload).expect("node exists");
+            if node.max_ve(s).is_none_or(|m| m < t) {
+                self.index.remove(vs, &payload);
+            }
+        }
+        self.max_stable = t;
+        self.inputs.on_stable_advance(t);
+        self.stats.stables_out += 1;
+        out.push(Element::Stable(t));
+    }
+}
+
+impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
+    fn push(&mut self, input: StreamId, element: &Element<P>, out: &mut Vec<Element<P>>) {
+        match element {
+            Element::Insert(e) => {
+                self.stats.inserts_in += 1;
+                if !self.inputs.accepts_data(input) {
+                    return;
+                }
+                // Lines 4–7.
+                if self.index.get(e.vs, &e.payload).is_none() && e.vs < self.max_stable {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                let max_stable = self.max_stable;
+                let node = self.index.entry(e.vs, &e.payload);
+                node.increment(input, e.ve);
+                // Lines 9–11: output only while the key is unfrozen and this
+                // input has presented more events than we have emitted.
+                if e.vs >= max_stable && node.count_of(input) > node.count_out() {
+                    node.out_increment(e.ve);
+                    self.stats.inserts_out += 1;
+                    out.push(Element::Insert(e.clone()));
+                } else {
+                    self.stats.dropped += 1;
+                }
+            }
+            Element::Adjust {
+                payload,
+                vs,
+                vold,
+                ve,
+            } => {
+                self.stats.adjusts_in += 1;
+                if !self.inputs.accepts_data(input) {
+                    return;
+                }
+                // Lines 13–15 (absorbed silently; output reconciled lazily).
+                let Some(node) = self.index.get_mut(*vs, payload) else {
+                    self.stats.dropped += 1;
+                    return;
+                };
+                if node.decrement(input, *vold) {
+                    if ve != vs {
+                        node.increment(input, *ve);
+                    }
+                } else {
+                    self.stats.dropped += 1;
+                }
+            }
+            Element::Stable(t) => {
+                self.stats.stables_in += 1;
+                if !self.inputs.accepts_stable(input) {
+                    return;
+                }
+                self.on_stable(input, *t, out);
+            }
+        }
+    }
+
+    fn attach(&mut self, join_time: Time) -> StreamId {
+        self.inputs.attach(join_time)
+    }
+
+    fn detach(&mut self, input: StreamId) {
+        self.inputs.detach(input);
+        self.index.purge_stream(input);
+    }
+
+    fn max_stable(&self) -> Time {
+        self.max_stable
+    }
+
+    fn stats(&self) -> MergeStats {
+        self.stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.index.memory_bytes() + self.inputs.memory_bytes()
+    }
+
+    fn level(&self) -> RLevel {
+        RLevel::R4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmerge_temporal::reconstitute::tdb_of;
+    use lmerge_temporal::Tdb;
+
+    type E = Element<&'static str>;
+
+    fn final_tdb(out: &[E]) -> Tdb<&'static str> {
+        tdb_of(out).unwrap()
+    }
+
+    #[test]
+    fn duplicate_events_are_preserved() {
+        // Two genuine duplicates in the logical stream (R4's raison d'être).
+        let mut lm = LMergeR4::new(2);
+        let mut out = Vec::new();
+        for s in 0..2u32 {
+            lm.push(StreamId(s), &E::insert("A", 1, 5), &mut out);
+            lm.push(StreamId(s), &E::insert("A", 1, 5), &mut out);
+        }
+        lm.push(StreamId(0), &E::stable(10), &mut out);
+        let tdb = final_tdb(&out);
+        assert_eq!(tdb.count(&"A", Time(1), Time(5)), 2, "both duplicates kept");
+    }
+
+    #[test]
+    fn per_input_counting_avoids_double_output() {
+        let mut lm = LMergeR4::new(2);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 1, 5), &mut out);
+        lm.push(StreamId(1), &E::insert("A", 1, 5), &mut out);
+        assert_eq!(out.len(), 1, "second input's copy is the same event");
+        lm.push(StreamId(1), &E::insert("A", 1, 5), &mut out);
+        assert_eq!(out.len(), 2, "but a second occurrence is new");
+    }
+
+    #[test]
+    fn divergent_ends_reconciled_on_stable() {
+        let mut lm = LMergeR4::new(2);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 6, 7), &mut out);
+        lm.push(StreamId(1), &E::insert("A", 6, 12), &mut out);
+        lm.push(StreamId(1), &E::stable(20), &mut out);
+        let tdb = final_tdb(&out);
+        assert_eq!(tdb.count(&"A", Time(6), Time(12)), 1);
+        assert_eq!(tdb.len(), 1);
+    }
+
+    #[test]
+    fn spurious_event_cancelled() {
+        let mut lm = LMergeR4::new(2);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("X", 5, 9), &mut out);
+        lm.push(StreamId(1), &E::stable(10), &mut out);
+        assert!(final_tdb(&out).is_empty());
+    }
+
+    #[test]
+    fn missing_output_event_materialized() {
+        // Input 1 has two events for the key; only one was output (input 0
+        // contributed the other logical copy later). On input 1's stable,
+        // output must carry both.
+        let mut lm = LMergeR4::new(2);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 1, 5), &mut out);
+        lm.push(StreamId(1), &E::insert("A", 1, 5), &mut out); // dup, absorbed
+        lm.push(StreamId(1), &E::insert("A", 1, 8), &mut out); // new copy: output
+        lm.push(StreamId(1), &E::stable(10), &mut out);
+        let tdb = final_tdb(&out);
+        assert_eq!(tdb.count(&"A", Time(1), Time(5)), 1);
+        assert_eq!(tdb.count(&"A", Time(1), Time(8)), 1);
+    }
+
+    #[test]
+    fn adjust_chains_resolve_to_final_value() {
+        let mut lm = LMergeR4::new(1);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 6, 20), &mut out);
+        lm.push(StreamId(0), &E::adjust("A", 6, 20, 30), &mut out);
+        lm.push(StreamId(0), &E::adjust("A", 6, 30, 25), &mut out);
+        lm.push(StreamId(0), &E::stable(40), &mut out);
+        let tdb = final_tdb(&out);
+        assert_eq!(tdb.count(&"A", Time(6), Time(25)), 1);
+        assert_eq!(tdb.len(), 1);
+    }
+
+    #[test]
+    fn cancellation_via_adjust_to_vs() {
+        let mut lm = LMergeR4::new(1);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 6, 20), &mut out);
+        lm.push(StreamId(0), &E::adjust("A", 6, 20, 6), &mut out);
+        lm.push(StreamId(0), &E::stable(40), &mut out);
+        assert!(final_tdb(&out).is_empty());
+    }
+
+    #[test]
+    fn same_key_different_ves_multiset() {
+        // One logical stream holds ⟨A,1,5⟩ and ⟨A,1,9⟩ simultaneously.
+        let mut lm = LMergeR4::new(2);
+        let mut out = Vec::new();
+        for s in 0..2u32 {
+            lm.push(StreamId(s), &E::insert("A", 1, 5), &mut out);
+            lm.push(StreamId(s), &E::insert("A", 1, 9), &mut out);
+        }
+        lm.push(StreamId(0), &E::stable(20), &mut out);
+        let tdb = final_tdb(&out);
+        assert_eq!(tdb.count(&"A", Time(1), Time(5)), 1);
+        assert_eq!(tdb.count(&"A", Time(1), Time(9)), 1);
+    }
+
+    #[test]
+    fn divergent_bucket_assignment_reconciled() {
+        // Input 0 presents ends {7, 12}; input 1 presents {12, 7} but the
+        // output followed input 0's provisional values {9, 12}. The driving
+        // stable must leave the output with exactly {7, 12}.
+        let mut lm = LMergeR4::new(2);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 1, 9), &mut out);
+        lm.push(StreamId(0), &E::insert("A", 1, 12), &mut out);
+        lm.push(StreamId(1), &E::insert("A", 1, 12), &mut out);
+        lm.push(StreamId(1), &E::insert("A", 1, 7), &mut out);
+        lm.push(StreamId(1), &E::stable(30), &mut out);
+        let tdb = final_tdb(&out);
+        assert_eq!(tdb.count(&"A", Time(1), Time(7)), 1);
+        assert_eq!(tdb.count(&"A", Time(1), Time(12)), 1);
+        assert_eq!(tdb.len(), 2);
+    }
+
+    #[test]
+    fn stale_adjust_is_dropped_not_corrupting() {
+        let mut lm = LMergeR4::new(1);
+        let mut out = Vec::new();
+        lm.push(StreamId(0), &E::insert("A", 1, 5), &mut out);
+        // Adjust names a Vold that was never recorded.
+        lm.push(StreamId(0), &E::adjust("A", 1, 99, 7), &mut out);
+        lm.push(StreamId(0), &E::stable(10), &mut out);
+        let tdb = final_tdb(&out);
+        assert_eq!(tdb.count(&"A", Time(1), Time(5)), 1);
+    }
+
+    #[test]
+    fn nodes_freed_after_full_freeze() {
+        let mut lm = LMergeR4::new(1);
+        let mut out = Vec::new();
+        for i in 0..30i64 {
+            lm.push(StreamId(0), &E::insert("k", i, i + 1), &mut out);
+        }
+        assert_eq!(lm.live_nodes(), 30);
+        lm.push(StreamId(0), &E::stable(100), &mut out);
+        assert_eq!(lm.live_nodes(), 0);
+    }
+
+    #[test]
+    fn output_valid_streaminsight_stream() {
+        // Whatever R4 emits must itself reconstitute without violations.
+        let mut lm = LMergeR4::new(3);
+        let mut out = Vec::new();
+        for s in 0..3u32 {
+            for i in 0..20i64 {
+                lm.push(StreamId(s), &E::insert("k", i, i + 15), &mut out);
+                if i % 3 == 0 {
+                    lm.push(StreamId(s), &E::adjust("k", i, i + 15, i + 6), &mut out);
+                }
+            }
+            lm.push(StreamId(s), &E::stable(10 + s as i64), &mut out);
+        }
+        lm.push(StreamId(0), &E::stable(100), &mut out);
+        assert!(tdb_of(&out).is_ok(), "output stream must be well formed");
+    }
+}

@@ -1,0 +1,77 @@
+//! Operator statistics: element counts in and out.
+//!
+//! These counters back two things: the *output size / chattiness* metric of
+//! the paper's evaluation ("the number of adjust() elements produced",
+//! Section VI-B), and the Theorem 1 test — Algorithm R3 outputs no more
+//! insert+adjust elements than the inserts it received, and no more stables
+//! than the stables it received.
+
+/// Counters of elements consumed and produced by an LMerge instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Insert elements received across all inputs.
+    pub inserts_in: u64,
+    /// Adjust elements received across all inputs.
+    pub adjusts_in: u64,
+    /// Stable elements received across all inputs.
+    pub stables_in: u64,
+    /// Insert elements emitted.
+    pub inserts_out: u64,
+    /// Adjust elements emitted (the chattiness metric).
+    pub adjusts_out: u64,
+    /// Stable elements emitted.
+    pub stables_out: u64,
+    /// Data elements dropped as duplicates/stale (already output or frozen).
+    pub dropped: u64,
+}
+
+impl MergeStats {
+    /// Total data+punctuation elements received.
+    pub fn elements_in(&self) -> u64 {
+        self.inserts_in + self.adjusts_in + self.stables_in
+    }
+
+    /// Total elements emitted.
+    pub fn elements_out(&self) -> u64 {
+        self.inserts_out + self.adjusts_out + self.stables_out
+    }
+
+    /// The paper's Theorem 1 bound for Algorithm R3: data output is bounded
+    /// by insert input, stable output by stable input.
+    pub fn satisfies_theorem1(&self) -> bool {
+        self.inserts_out + self.adjusts_out <= self.inserts_in
+            && self.stables_out <= self.stables_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = MergeStats {
+            inserts_in: 10,
+            adjusts_in: 2,
+            stables_in: 3,
+            inserts_out: 8,
+            adjusts_out: 1,
+            stables_out: 3,
+            dropped: 3,
+        };
+        assert_eq!(s.elements_in(), 15);
+        assert_eq!(s.elements_out(), 12);
+        assert!(s.satisfies_theorem1());
+    }
+
+    #[test]
+    fn theorem1_violation_detected() {
+        let s = MergeStats {
+            inserts_in: 5,
+            inserts_out: 4,
+            adjusts_out: 2,
+            ..Default::default()
+        };
+        assert!(!s.satisfies_theorem1());
+    }
+}

@@ -1,0 +1,179 @@
+//! Run metrics: throughput, latency, memory, chattiness.
+//!
+//! These are the measurements of the paper's Section VI-B: *Throughput*
+//! (output events per virtual second), *Memory* (operator state including
+//! payloads and index structures), and *Output Size* (the number of adjust
+//! elements — chattiness). Latency is virtual emission time minus source
+//! arrival time.
+
+use lmerge_core::MergeStats;
+use lmerge_temporal::VTime;
+use std::collections::BTreeMap;
+
+/// A per-virtual-second count series.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Series {
+    buckets: BTreeMap<u64, u64>,
+}
+
+impl Series {
+    /// Record `n` occurrences at virtual time `at`.
+    pub fn add(&mut self, at: VTime, n: u64) {
+        *self.buckets.entry(at.as_micros() / 1_000_000).or_insert(0) += n;
+    }
+
+    /// Iterate `(second, count)` pairs in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(s, c)| (*s, *c))
+    }
+
+    /// Count in a specific second.
+    pub fn at(&self, second: u64) -> u64 {
+        self.buckets.get(&second).copied().unwrap_or(0)
+    }
+
+    /// Total across all buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.values().sum()
+    }
+
+    /// Coefficient of variation (σ/μ) over the series' span — the
+    /// "smoothness" measure for the bursty/congestion experiments.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let Some((&first, _)) = self.buckets.first_key_value() else {
+            return 0.0;
+        };
+        let (&last, _) = self.buckets.last_key_value().expect("non-empty");
+        let n = (last - first + 1) as f64;
+        let mean = self.total() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = (first..=last)
+            .map(|s| {
+                let d = self.at(s) as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+/// Everything measured during one executor run.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// LMerge element counters (inserts/adjusts/stables in and out).
+    pub merge: MergeStats,
+    /// Output data elements per virtual second.
+    pub output_series: Series,
+    /// Delivered input data elements per virtual second, per input.
+    pub input_series: Vec<Series>,
+    /// Latency (µs) of each output-producing batch: emission − arrival.
+    pub latencies_us: Vec<u64>,
+    /// Sampled `(vtime, bytes)` of LMerge + query-operator state.
+    pub memory_samples: Vec<(VTime, usize)>,
+    /// Largest memory sample observed.
+    pub peak_memory: usize,
+    /// Virtual time at which the merged output became complete (the output
+    /// stable point reached `∞`), if it did.
+    pub output_complete_at: Option<VTime>,
+    /// Virtual time when every input was fully drained.
+    pub drained_at: VTime,
+}
+
+impl RunMetrics {
+    /// Mean latency in microseconds (0 when nothing was measured).
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        self.latencies_us.iter().sum::<u64>() as f64 / self.latencies_us.len() as f64
+    }
+
+    /// The `q`-quantile latency in microseconds (e.g. `0.99`).
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut v = self.latencies_us.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * q).round() as usize;
+        v[idx]
+    }
+
+    /// End-to-end completion time: when the output became complete, or when
+    /// the inputs drained if no final punctuation arrived.
+    pub fn completion(&self) -> VTime {
+        self.output_complete_at.unwrap_or(self.drained_at)
+    }
+
+    /// Overall output throughput in data elements per virtual second.
+    pub fn throughput_eps(&self) -> f64 {
+        let secs = self.completion().as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        (self.merge.inserts_out + self.merge.adjusts_out) as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_bucketing() {
+        let mut s = Series::default();
+        s.add(VTime::from_millis(100), 3);
+        s.add(VTime::from_millis(900), 2);
+        s.add(VTime::from_secs(2), 7);
+        assert_eq!(s.at(0), 5);
+        assert_eq!(s.at(1), 0);
+        assert_eq!(s.at(2), 7);
+        assert_eq!(s.total(), 12);
+    }
+
+    #[test]
+    fn steady_series_has_low_cv() {
+        let mut steady = Series::default();
+        let mut bursty = Series::default();
+        for sec in 0..10 {
+            steady.add(VTime::from_secs(sec), 100);
+            bursty.add(VTime::from_secs(sec), if sec % 2 == 0 { 195 } else { 5 });
+        }
+        assert!(steady.coefficient_of_variation() < 0.01);
+        assert!(bursty.coefficient_of_variation() > 0.5);
+    }
+
+    #[test]
+    fn latency_stats() {
+        let m = RunMetrics {
+            latencies_us: vec![10, 20, 30, 40, 1000],
+            ..Default::default()
+        };
+        assert_eq!(m.mean_latency_us(), 220.0);
+        assert_eq!(m.latency_quantile_us(0.5), 30);
+        assert_eq!(m.latency_quantile_us(1.0), 1000);
+    }
+
+    #[test]
+    fn completion_prefers_output_complete() {
+        let mut m = RunMetrics {
+            drained_at: VTime::from_secs(100),
+            ..Default::default()
+        };
+        assert_eq!(m.completion(), VTime::from_secs(100));
+        m.output_complete_at = Some(VTime::from_secs(60));
+        assert_eq!(m.completion(), VTime::from_secs(60));
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = RunMetrics::default();
+        assert_eq!(m.mean_latency_us(), 0.0);
+        assert_eq!(m.latency_quantile_us(0.99), 0);
+        assert_eq!(m.throughput_eps(), 0.0);
+        assert_eq!(Series::default().coefficient_of_variation(), 0.0);
+    }
+}

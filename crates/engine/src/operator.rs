@@ -1,0 +1,83 @@
+//! The operator abstraction of the mini-DSMS.
+
+use lmerge_temporal::{Element, Payload, Time, VTime};
+
+/// An element annotated with its virtual arrival time at the query's source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedElement<P> {
+    /// When the element arrives at the query (virtual microseconds).
+    pub at: VTime,
+    /// The element itself.
+    pub element: Element<P>,
+}
+
+impl<P: Payload> TimedElement<P> {
+    /// Annotate `element` with arrival time `at`.
+    pub fn new(at: VTime, element: Element<P>) -> TimedElement<P> {
+        TimedElement { at, element }
+    }
+}
+
+/// A streaming operator over the StreamInsight element model.
+///
+/// Operators are synchronous: one element in, zero or more elements out.
+/// They additionally expose:
+///
+/// * a virtual CPU **cost** per element (microseconds), which the executor
+///   charges to the query's core — this is how plan asymmetry (Figure 10)
+///   and CPU contention are modelled without wall clocks;
+/// * a **feedback** hook (Section V-D): when LMerge signals that elements
+///   before time `t` are no longer of interest, operators may purge state
+///   and subsequently skip dead work;
+/// * a memory estimate, so operator state (e.g. Cleanse buffers) shows up
+///   in the experiments' memory metric.
+pub trait Operator<P: Payload>: Send {
+    /// Process one input element, appending outputs.
+    fn on_element(&mut self, element: &Element<P>, out: &mut Vec<Element<P>>);
+
+    /// Virtual CPU microseconds consumed by processing `element`.
+    fn cost_us(&self, _element: &Element<P>) -> u64 {
+        1
+    }
+
+    /// React to a feedback signal: elements with all relevance before `t`
+    /// will be ignored downstream; state before `t` may be purged.
+    fn on_feedback(&mut self, _t: Time) {}
+
+    /// Estimated operator state in bytes.
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+
+    /// Short operator name for metrics and debugging.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Passthrough;
+    impl Operator<&'static str> for Passthrough {
+        fn on_element(&mut self, e: &Element<&'static str>, out: &mut Vec<Element<&'static str>>) {
+            out.push(e.clone());
+        }
+        fn name(&self) -> &'static str {
+            "pass"
+        }
+    }
+
+    #[test]
+    fn default_cost_and_memory() {
+        let op = Passthrough;
+        assert_eq!(op.cost_us(&Element::stable(1)), 1);
+        assert_eq!(op.memory_bytes(), 0);
+        assert_eq!(op.name(), "pass");
+    }
+
+    #[test]
+    fn timed_element_carries_arrival() {
+        let te = TimedElement::new(VTime::from_secs(2), Element::insert("a", 1, 5));
+        assert_eq!(te.at.as_secs_f64(), 2.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Lifetime alteration: clip every event's lifetime to a maximum duration.
+//!
+//! This is the "lifetime modification" the paper composes with the count
+//! aggregate to build adjust-generating sub-queries. Clipping is a
+//! deterministic function of `(Vs, Ve)`, so it preserves ordering,
+//! insert-only-ness, and `(Vs, Payload)` keys, and — as shown below — it
+//! never violates `stable` constraints on its output.
+
+use crate::operator::Operator;
+use lmerge_temporal::{Element, Payload, Time};
+
+/// Clips `Ve` to `Vs + max_duration`.
+pub struct AlterLifetime {
+    max_duration: i64,
+}
+
+impl AlterLifetime {
+    /// Clip lifetimes to at most `max_duration` application-time units.
+    pub fn clip(max_duration: i64) -> AlterLifetime {
+        assert!(max_duration > 0, "clip duration must be positive");
+        AlterLifetime { max_duration }
+    }
+
+    fn f(&self, vs: Time, ve: Time) -> Time {
+        ve.min(vs.saturating_add(self.max_duration))
+    }
+}
+
+impl<P: Payload> Operator<P> for AlterLifetime {
+    fn on_element(&mut self, element: &Element<P>, out: &mut Vec<Element<P>>) {
+        match element {
+            Element::Insert(e) => {
+                out.push(Element::insert(e.payload.clone(), e.vs, self.f(e.vs, e.ve)));
+            }
+            Element::Adjust {
+                payload,
+                vs,
+                vold,
+                ve,
+            } => {
+                let old = self.f(*vs, *vold);
+                // A removal (ve == vs) must stay a removal, not be clipped.
+                let new = if ve == vs { *vs } else { self.f(*vs, *ve) };
+                // If clipping makes the adjust a no-op, drop it: downstream
+                // never saw an end beyond the clip point.
+                if old != new {
+                    out.push(Element::adjust(payload.clone(), *vs, old, new));
+                }
+            }
+            Element::Stable(t) => out.push(Element::Stable(*t)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "alter-lifetime"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clips_long_events() {
+        let mut a = AlterLifetime::clip(10);
+        let mut out: Vec<Element<&str>> = Vec::new();
+        a.on_element(&Element::insert("x", 5, 100), &mut out);
+        a.on_element(&Element::insert("y", 5, 8), &mut out);
+        assert_eq!(
+            out,
+            vec![Element::insert("x", 5, 15), Element::insert("y", 5, 8)]
+        );
+    }
+
+    #[test]
+    fn clips_infinite_events() {
+        let mut a = AlterLifetime::clip(10);
+        let mut out: Vec<Element<&str>> = Vec::new();
+        a.on_element(&Element::insert("x", 5, Time::INFINITY), &mut out);
+        assert_eq!(out, vec![Element::insert("x", 5, 15)]);
+    }
+
+    #[test]
+    fn noop_adjusts_are_dropped() {
+        let mut a = AlterLifetime::clip(10);
+        let mut out: Vec<Element<&str>> = Vec::new();
+        // Both 100 and 200 clip to 15: downstream never sees a change.
+        a.on_element(&Element::adjust("x", 5, 100, 200), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn meaningful_adjusts_are_translated() {
+        let mut a = AlterLifetime::clip(10);
+        let mut out: Vec<Element<&str>> = Vec::new();
+        a.on_element(&Element::adjust("x", 5, 100, 8), &mut out);
+        assert_eq!(out, vec![Element::adjust("x", 5, 15, 8)]);
+    }
+
+    #[test]
+    fn removal_stays_removal() {
+        let mut a = AlterLifetime::clip(10);
+        let mut out: Vec<Element<&str>> = Vec::new();
+        a.on_element(&Element::adjust("x", 5, 100, 5), &mut out);
+        assert_eq!(out, vec![Element::adjust("x", 5, 15, 5)]);
+    }
+}

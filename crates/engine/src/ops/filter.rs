@@ -1,0 +1,69 @@
+//! Stateless selection.
+
+use crate::operator::Operator;
+use lmerge_temporal::{Element, Payload};
+
+/// Drops data elements whose payload fails the predicate; punctuation
+/// passes through (filtering never weakens stability guarantees).
+pub struct Filter<P, F> {
+    name: &'static str,
+    predicate: F,
+    _p: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P: Payload, F: Fn(&P) -> bool + Send> Filter<P, F> {
+    /// A named filter with the given payload predicate.
+    pub fn new(name: &'static str, predicate: F) -> Filter<P, F> {
+        Filter {
+            name,
+            predicate,
+            _p: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<P: Payload, F: Fn(&P) -> bool + Send> Operator<P> for Filter<P, F> {
+    fn on_element(&mut self, element: &Element<P>, out: &mut Vec<Element<P>>) {
+        match element {
+            Element::Insert(e) => {
+                if (self.predicate)(&e.payload) {
+                    out.push(element.clone());
+                }
+            }
+            Element::Adjust { payload, .. } => {
+                if (self.predicate)(payload) {
+                    out.push(element.clone());
+                }
+            }
+            Element::Stable(_) => out.push(element.clone()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_inserts_and_matching_adjusts() {
+        let mut f = Filter::new("keep-a", |p: &&str| p.starts_with('a'));
+        let mut out = Vec::new();
+        f.on_element(&Element::insert("ax", 1, 5), &mut out);
+        f.on_element(&Element::insert("bx", 1, 5), &mut out);
+        f.on_element(&Element::adjust("ax", 1, 5, 7), &mut out);
+        f.on_element(&Element::adjust("bx", 1, 5, 7), &mut out);
+        f.on_element(&Element::stable(9), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                Element::insert("ax", 1, 5),
+                Element::adjust("ax", 1, 5, 7),
+                Element::stable(9),
+            ]
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Stateless payload projection.
+
+use crate::operator::Operator;
+use lmerge_temporal::{Element, Payload};
+
+/// Maps each data element's payload through a function; punctuation passes.
+///
+/// The mapping should be *injective* if downstream property inference claims
+/// a `(Vs, Payload)` key — a non-injective map collapses distinct events
+/// onto one key (see `lmerge-properties::plan`).
+pub struct Map<P, F> {
+    name: &'static str,
+    func: F,
+    _p: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P: Payload, F: Fn(&P) -> P + Send> Map<P, F> {
+    /// A named map over payloads.
+    pub fn new(name: &'static str, func: F) -> Map<P, F> {
+        Map {
+            name,
+            func,
+            _p: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<P: Payload, F: Fn(&P) -> P + Send> Operator<P> for Map<P, F> {
+    fn on_element(&mut self, element: &Element<P>, out: &mut Vec<Element<P>>) {
+        match element {
+            Element::Insert(e) => {
+                out.push(Element::insert((self.func)(&e.payload), e.vs, e.ve));
+            }
+            Element::Adjust {
+                payload,
+                vs,
+                vold,
+                ve,
+            } => out.push(Element::adjust((self.func)(payload), *vs, *vold, *ve)),
+            Element::Stable(t) => out.push(Element::Stable(*t)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmerge_temporal::Time;
+
+    #[test]
+    fn maps_payloads_preserving_times() {
+        let mut m = Map::new("upper", |p: &&str| if *p == "a" { "A" } else { "Z" });
+        let mut out = Vec::new();
+        m.on_element(&Element::insert("a", 1, 5), &mut out);
+        m.on_element(&Element::adjust("a", 1, 5, 9), &mut out);
+        m.on_element(&Element::stable(3), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                Element::insert("A", 1, 5),
+                Element::adjust("A", 1, 5, 9),
+                Element::stable(3),
+            ]
+        );
+        assert_eq!(out[0].key(), Some((Time(1), &"A")));
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic event sampling.
+//!
+//! The paper's Section I motivates pushing elements through the query
+//! unordered because "a CQ often contains data-reducing operators, such as
+//! aggregation and sampling". `Sample` is the sampling half: it keeps an
+//! event iff a hash of its identity falls under the sampling rate.
+//!
+//! Determinism is what makes it LMerge-friendly: the decision depends only
+//! on the event's `(Vs, Payload)` identity — never on arrival order — so
+//! every physical copy of a stream samples the *same* events and the
+//! outputs remain mutually consistent. All of an event's revisions follow
+//! its insert's fate.
+
+use crate::operator::Operator;
+use lmerge_temporal::{Element, Payload, Time};
+use std::hash::{Hash, Hasher};
+
+/// Keeps a deterministic `keep_per_1024`/1024 fraction of events.
+pub struct Sample<P> {
+    keep_per_1024: u32,
+    seed: u64,
+    _p: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<P: Payload> Sample<P> {
+    /// Keep roughly `rate` (0.0–1.0) of events, decided per event identity.
+    pub fn new(rate: f64, seed: u64) -> Sample<P> {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a fraction");
+        Sample {
+            keep_per_1024: (rate * 1024.0).round() as u32,
+            seed,
+            _p: std::marker::PhantomData,
+        }
+    }
+
+    fn keeps(&self, vs: Time, payload: &P) -> bool {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.seed.hash(&mut h);
+        vs.0.hash(&mut h);
+        payload.hash(&mut h);
+        (h.finish() % 1024) < u64::from(self.keep_per_1024)
+    }
+}
+
+impl<P: Payload> Operator<P> for Sample<P> {
+    fn on_element(&mut self, element: &Element<P>, out: &mut Vec<Element<P>>) {
+        match element {
+            Element::Insert(e) => {
+                if self.keeps(e.vs, &e.payload) {
+                    out.push(element.clone());
+                }
+            }
+            Element::Adjust { payload, vs, .. } => {
+                // Revisions follow their event's fate.
+                if self.keeps(*vs, payload) {
+                    out.push(element.clone());
+                }
+            }
+            Element::Stable(_) => out.push(element.clone()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sample"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmerge_temporal::reconstitute::tdb_of;
+    use lmerge_temporal::Value;
+
+    fn run(rate: f64, elems: &[Element<Value>]) -> Vec<Element<Value>> {
+        let mut s = Sample::new(rate, 7);
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        for e in elems {
+            buf.clear();
+            s.on_element(e, &mut buf);
+            out.extend(buf.drain(..));
+        }
+        out
+    }
+
+    fn events(n: usize) -> Vec<Element<Value>> {
+        (0..n)
+            .map(|i| Element::insert(Value::synthetic(i as i32, 8), i as i64, i as i64 + 10))
+            .collect()
+    }
+
+    #[test]
+    fn samples_roughly_the_requested_fraction() {
+        let out = run(0.25, &events(4000));
+        let kept = out.iter().filter(|e| e.is_insert()).count();
+        assert!((800..=1200).contains(&kept), "~25% of 4000, got {kept}");
+    }
+
+    #[test]
+    fn rate_extremes() {
+        assert_eq!(run(0.0, &events(100)).len(), 0);
+        assert_eq!(run(1.0, &events(100)).len(), 100);
+    }
+
+    #[test]
+    fn decision_is_order_independent() {
+        let fwd = events(500);
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let kept = |out: &[Element<Value>]| {
+            let mut v: Vec<_> = out
+                .iter()
+                .filter_map(|e| e.key().map(|(vs, p)| (vs, p.clone())))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(kept(&run(0.5, &fwd)), kept(&run(0.5, &rev)));
+    }
+
+    #[test]
+    fn revisions_follow_their_event() {
+        let mut elems = events(200);
+        // Adjust every event; kept events keep their adjusts, dropped
+        // events drop theirs — the output must reconstitute cleanly.
+        let adjusts: Vec<Element<Value>> = elems
+            .iter()
+            .filter_map(|e| match e {
+                Element::Insert(ev) => Some(Element::adjust(
+                    ev.payload.clone(),
+                    ev.vs,
+                    ev.ve,
+                    ev.ve.saturating_add(5),
+                )),
+                _ => None,
+            })
+            .collect();
+        elems.extend(adjusts);
+        elems.push(Element::stable(Time::INFINITY));
+        let out = run(0.5, &elems);
+        let tdb = tdb_of(&out).expect("sampled stream stays well formed");
+        let inserts = out.iter().filter(|e| e.is_insert()).count();
+        let adjusts = out.iter().filter(|e| e.is_adjust()).count();
+        assert_eq!(inserts, adjusts, "each kept event kept its revision");
+        assert_eq!(tdb.len(), inserts);
+    }
+
+    #[test]
+    fn punctuation_always_passes() {
+        let out = run(0.0, &[Element::<Value>::stable(42)]);
+        assert_eq!(out, vec![Element::stable(42)]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Top-k per timestamp: the multi-valued aggregate of the paper's R1
+//! scenario ("a sliding window multi-valued aggregate such as Top-k").
+//!
+//! Requires an in-order, insert-only input. For every distinct `Vs` the
+//! operator emits the `k` events with the largest payload keys, in rank
+//! order — producing duplicate timestamps in *deterministic* order, which is
+//! exactly the stream class algorithm R1 merges with one counter per input.
+
+use crate::operator::Operator;
+use lmerge_temporal::{Element, Event, Time, Value};
+
+/// Emits the top `k` events (by payload key, descending) per timestamp.
+pub struct TopK {
+    k: usize,
+    current_vs: Option<Time>,
+    buffer: Vec<Event<Value>>,
+    pending_stable: Option<Time>,
+}
+
+impl TopK {
+    /// A Top-k over `k` ranks.
+    pub fn new(k: usize) -> TopK {
+        assert!(k > 0, "k must be positive");
+        TopK {
+            k,
+            current_vs: None,
+            buffer: Vec::new(),
+            pending_stable: None,
+        }
+    }
+
+    fn flush(&mut self, out: &mut Vec<Element<Value>>) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        // Rank by key descending, ties broken by body for determinism.
+        self.buffer.sort_by(|a, b| {
+            (b.payload.key, &b.payload.body).cmp(&(a.payload.key, &a.payload.body))
+        });
+        for e in self.buffer.drain(..).take(self.k) {
+            out.push(Element::Insert(e));
+        }
+        if let Some(t) = self.pending_stable.take() {
+            out.push(Element::Stable(t));
+        }
+    }
+}
+
+impl Operator<Value> for TopK {
+    fn on_element(&mut self, element: &Element<Value>, out: &mut Vec<Element<Value>>) {
+        match element {
+            Element::Insert(e) => {
+                if self.current_vs != Some(e.vs) {
+                    self.flush(out);
+                    self.current_vs = Some(e.vs);
+                }
+                self.buffer.push(e.clone());
+            }
+            Element::Adjust { .. } => {
+                panic!("TopK requires an insert-only input (R1 scenario)");
+            }
+            Element::Stable(t) => {
+                // Hold punctuation until the current timestamp group closes;
+                // a stable beyond the group closes it immediately.
+                if self.current_vs.is_some_and(|vs| *t > vs) {
+                    self.flush(out);
+                    self.current_vs = None;
+                    out.push(Element::Stable(*t));
+                } else {
+                    self.pending_stable = Some(self.pending_stable.unwrap_or(*t).max(*t));
+                }
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.buffer.capacity() * std::mem::size_of::<Event<Value>>()
+            + self
+                .buffer
+                .iter()
+                .map(|e| e.payload.body.len())
+                .sum::<usize>()
+    }
+
+    fn name(&self) -> &'static str {
+        "top-k"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(key: i32) -> Value {
+        Value::bare(key)
+    }
+
+    #[test]
+    fn emits_top_k_in_rank_order() {
+        let mut op = TopK::new(2);
+        let mut out = Vec::new();
+        for key in [3, 9, 1, 7] {
+            op.on_element(&Element::insert(v(key), 10, 20), &mut out);
+        }
+        // Advance the timestamp to close the group.
+        op.on_element(&Element::insert(v(5), 11, 21), &mut out);
+        assert_eq!(
+            out,
+            vec![Element::insert(v(9), 10, 20), Element::insert(v(7), 10, 20),],
+            "two best of Vs=10, rank order"
+        );
+    }
+
+    #[test]
+    fn stable_closes_group() {
+        let mut op = TopK::new(1);
+        let mut out = Vec::new();
+        op.on_element(&Element::insert(v(3), 10, 20), &mut out);
+        op.on_element(&Element::stable(15), &mut out);
+        assert_eq!(
+            out,
+            vec![Element::insert(v(3), 10, 20), Element::stable(15)]
+        );
+    }
+
+    #[test]
+    fn stable_within_group_is_held() {
+        let mut op = TopK::new(1);
+        let mut out = Vec::new();
+        op.on_element(&Element::insert(v(3), 10, 20), &mut out);
+        op.on_element(&Element::stable(10), &mut out);
+        assert!(out.is_empty(), "punctuation held until the group closes");
+        op.on_element(&Element::insert(v(4), 12, 22), &mut out);
+        assert_eq!(
+            out,
+            vec![Element::insert(v(3), 10, 20), Element::stable(10)]
+        );
+    }
+
+    #[test]
+    fn deterministic_across_copies() {
+        // Two copies see the same per-timestamp sets in different arrival
+        // order; outputs must be identical (R1's requirement).
+        let run = |keys: &[i32]| {
+            let mut op = TopK::new(3);
+            let mut out = Vec::new();
+            for k in keys {
+                op.on_element(&Element::insert(v(*k), 10, 20), &mut out);
+            }
+            op.on_element(&Element::stable(50), &mut out);
+            out
+        };
+        assert_eq!(run(&[3, 9, 1, 7]), run(&[7, 1, 3, 9]));
+    }
+
+    #[test]
+    #[should_panic(expected = "insert-only")]
+    fn adjust_panics() {
+        let mut op = TopK::new(1);
+        op.on_element(&Element::adjust(v(1), 10, 20, 25), &mut Vec::new());
+    }
+}

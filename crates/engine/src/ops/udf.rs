@@ -1,0 +1,156 @@
+//! Cost-asymmetric UDF selection with feedback fast-forward.
+//!
+//! Models the plan-switching workload of Section VI-E(3): "The first plan
+//! (UDF0) is expensive for small values of X (a payload field), while the
+//! second plan (UDF1) is expensive for large values of X." Under feedback
+//! (Section V-D), elements whose entire relevance lies before the signalled
+//! time are skipped at (almost) no cost — the "fast-forward" that lets a
+//! lagging plan catch up.
+
+use crate::operator::Operator;
+use lmerge_temporal::{Element, Time, Value};
+
+/// A pass-through selection whose virtual CPU cost depends on the payload.
+pub struct UdfSelect {
+    /// Payload keys below this are "small".
+    pub threshold: i32,
+    /// Whether small keys are the expensive side (UDF0) or large (UDF1).
+    pub expensive_small: bool,
+    /// Cost of the expensive side, virtual µs per element.
+    pub cost_expensive_us: u64,
+    /// Cost of the cheap side, virtual µs per element.
+    pub cost_cheap_us: u64,
+    /// Latest feedback point received (elements ending before it are dead).
+    ff_point: Time,
+    /// Elements skipped thanks to feedback (observability for the bench).
+    pub skipped: u64,
+}
+
+impl UdfSelect {
+    /// UDF0 of the paper: expensive for small keys.
+    pub fn udf0(threshold: i32, expensive_us: u64, cheap_us: u64) -> UdfSelect {
+        UdfSelect {
+            threshold,
+            expensive_small: true,
+            cost_expensive_us: expensive_us,
+            cost_cheap_us: cheap_us,
+            ff_point: Time::MIN,
+            skipped: 0,
+        }
+    }
+
+    /// UDF1 of the paper: expensive for large keys.
+    pub fn udf1(threshold: i32, expensive_us: u64, cheap_us: u64) -> UdfSelect {
+        UdfSelect {
+            expensive_small: false,
+            ..UdfSelect::udf0(threshold, expensive_us, cheap_us)
+        }
+    }
+
+    fn is_expensive(&self, v: &Value) -> bool {
+        (v.key < self.threshold) == self.expensive_small
+    }
+
+    /// Whether feedback allows skipping this element entirely: all of its
+    /// relevance lies before the feedback point.
+    fn dead(&self, element: &Element<Value>) -> bool {
+        match element {
+            Element::Insert(e) => e.ve <= self.ff_point,
+            Element::Adjust { vold, ve, .. } => *vold <= self.ff_point && *ve <= self.ff_point,
+            Element::Stable(_) => false,
+        }
+    }
+}
+
+impl Operator<Value> for UdfSelect {
+    fn on_element(&mut self, element: &Element<Value>, out: &mut Vec<Element<Value>>) {
+        if self.dead(element) {
+            self.skipped += 1;
+            return;
+        }
+        out.push(element.clone());
+    }
+
+    fn cost_us(&self, element: &Element<Value>) -> u64 {
+        if self.dead(element) {
+            return 0; // fast-forward: no UDF invocation at all
+        }
+        match element {
+            Element::Insert(e) => {
+                if self.is_expensive(&e.payload) {
+                    self.cost_expensive_us
+                } else {
+                    self.cost_cheap_us
+                }
+            }
+            Element::Adjust { payload, .. } => {
+                if self.is_expensive(payload) {
+                    self.cost_expensive_us
+                } else {
+                    self.cost_cheap_us
+                }
+            }
+            Element::Stable(_) => 1,
+        }
+    }
+
+    fn on_feedback(&mut self, t: Time) {
+        self.ff_point = self.ff_point.max(t);
+    }
+
+    fn name(&self) -> &'static str {
+        "udf-select"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(key: i32) -> Value {
+        Value::bare(key)
+    }
+
+    #[test]
+    fn cost_asymmetry() {
+        let u0 = UdfSelect::udf0(200, 100, 1);
+        assert_eq!(u0.cost_us(&Element::insert(v(10), 1, 5)), 100);
+        assert_eq!(u0.cost_us(&Element::insert(v(300), 1, 5)), 1);
+        let u1 = UdfSelect::udf1(200, 100, 1);
+        assert_eq!(u1.cost_us(&Element::insert(v(10), 1, 5)), 1);
+        assert_eq!(u1.cost_us(&Element::insert(v(300), 1, 5)), 100);
+    }
+
+    #[test]
+    fn feedback_skips_dead_elements() {
+        let mut u = UdfSelect::udf0(200, 100, 1);
+        u.on_feedback(Time(50));
+        let dead = Element::insert(v(10), 1, 40);
+        let live = Element::insert(v(10), 1, 80);
+        assert_eq!(u.cost_us(&dead), 0);
+        assert_eq!(u.cost_us(&live), 100);
+        let mut out = Vec::new();
+        u.on_element(&dead, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(u.skipped, 1);
+        u.on_element(&live, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn stable_always_passes() {
+        let mut u = UdfSelect::udf0(200, 100, 1);
+        u.on_feedback(Time(50));
+        let mut out = Vec::new();
+        u.on_element(&Element::stable(10), &mut out);
+        assert_eq!(out.len(), 1, "punctuation survives fast-forward");
+    }
+
+    #[test]
+    fn feedback_never_regresses() {
+        let mut u = UdfSelect::udf0(200, 100, 1);
+        u.on_feedback(Time(50));
+        u.on_feedback(Time(20));
+        assert_eq!(u.cost_us(&Element::insert(v(1), 1, 30)), 0);
+    }
+}

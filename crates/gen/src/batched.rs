@@ -1,0 +1,160 @@
+//! The plan-switching workload of Figure 10.
+//!
+//! "We feed a stream with 200K elements, where alternating sequences
+//! (batches) of events have low and high values of X. The batch size is
+//! varied randomly between 10K and 30K elements. Thus, the 'optimal' plan
+//! switches 9 times during execution." (Section VI-E-3)
+
+use bytes::{BufMut, Bytes, BytesMut};
+use lmerge_temporal::{Element, Time, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the alternating-batch workload.
+#[derive(Clone, Debug)]
+pub struct BatchedConfig {
+    /// Total data elements (paper: 200_000).
+    pub num_events: usize,
+    /// Minimum batch length (paper: 10_000).
+    pub min_batch: usize,
+    /// Maximum batch length (paper: 30_000).
+    pub max_batch: usize,
+    /// Keys below this are "low X"; at or above, "high X".
+    pub threshold: i32,
+    /// Largest key value (the generator's `[0, 400]` interval).
+    pub key_range: i32,
+    /// Event lifetime (kept short so feedback can skip whole batches).
+    pub event_duration_ms: i64,
+    /// Emit a `stable` every this many events.
+    pub stable_every: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BatchedConfig {
+    fn default() -> Self {
+        BatchedConfig {
+            num_events: 200_000,
+            min_batch: 10_000,
+            max_batch: 30_000,
+            threshold: 200,
+            key_range: 400,
+            event_duration_ms: 50,
+            stable_every: 500,
+            seed: 99,
+        }
+    }
+}
+
+/// Generate the alternating low/high-key stream, ending with `stable(∞)`.
+/// Returns the elements and the number of batches produced.
+pub fn generate_batched(cfg: &BatchedConfig) -> (Vec<Element<Value>>, usize) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.num_events + cfg.num_events / cfg.stable_every + 1);
+    let mut produced = 0usize;
+    let mut batches = 0usize;
+    let mut low = true;
+    let mut t: i64 = 0;
+
+    while produced < cfg.num_events {
+        let len = rng
+            .random_range(cfg.min_batch..=cfg.max_batch)
+            .min(cfg.num_events - produced);
+        for _ in 0..len {
+            t += 1;
+            let key = if low {
+                rng.random_range(0..cfg.threshold)
+            } else {
+                rng.random_range(cfg.threshold..=cfg.key_range)
+            };
+            let mut body = BytesMut::with_capacity(8);
+            body.put_u64_le(produced as u64);
+            out.push(Element::insert(
+                Value {
+                    key,
+                    body: Bytes::from(body),
+                },
+                t,
+                t + cfg.event_duration_ms,
+            ));
+            produced += 1;
+            if produced.is_multiple_of(cfg.stable_every) {
+                out.push(Element::Stable(Time(t)));
+            }
+        }
+        low = !low;
+        batches += 1;
+    }
+    out.push(Element::Stable(Time::INFINITY));
+    (out, batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_shape() {
+        let cfg = BatchedConfig::default();
+        let (elems, batches) = generate_batched(&cfg);
+        let inserts = elems.iter().filter(|e| e.is_insert()).count();
+        assert_eq!(inserts, 200_000);
+        // 200K in batches of 10–30K: between 7 and 20 batches.
+        assert!((7..=20).contains(&batches), "got {batches} batches");
+        assert_eq!(elems.last(), Some(&Element::Stable(Time::INFINITY)));
+    }
+
+    #[test]
+    fn batches_alternate_key_ranges() {
+        let cfg = BatchedConfig {
+            num_events: 300,
+            min_batch: 100,
+            max_batch: 100,
+            stable_every: 1000,
+            ..Default::default()
+        };
+        let (elems, batches) = generate_batched(&cfg);
+        assert_eq!(batches, 3);
+        let keys: Vec<i32> = elems
+            .iter()
+            .filter_map(|e| match e {
+                Element::Insert(ev) => Some(ev.payload.key),
+                _ => None,
+            })
+            .collect();
+        assert!(keys[..100].iter().all(|k| *k < 200), "first batch low");
+        assert!(keys[100..200].iter().all(|k| *k >= 200), "second high");
+        assert!(keys[200..].iter().all(|k| *k < 200), "third low");
+    }
+
+    #[test]
+    fn punctuation_cadence() {
+        let cfg = BatchedConfig {
+            num_events: 1000,
+            min_batch: 500,
+            max_batch: 500,
+            stable_every: 100,
+            ..Default::default()
+        };
+        let (elems, _) = generate_batched(&cfg);
+        let stables = elems.iter().filter(|e| e.is_stable()).count();
+        assert_eq!(stables, 10 + 1, "one per 100 events plus the final ∞");
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let (elems, _) = generate_batched(&BatchedConfig {
+            num_events: 500,
+            min_batch: 100,
+            max_batch: 200,
+            ..Default::default()
+        });
+        let mut last = Time::MIN;
+        for e in &elems {
+            if let Element::Insert(ev) = e {
+                assert!(ev.vs > last);
+                last = ev.vs;
+            }
+        }
+    }
+}

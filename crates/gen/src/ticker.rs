@@ -1,0 +1,160 @@
+//! A synthetic stock-ticker workload with revision tuples.
+//!
+//! Stands in for the paper's real Yahoo! Finance data (footnote 2 — used
+//! only as a sanity check; the synthetic generator "gave us finer control
+//! over stream properties of interest"). Each quote for a symbol is an
+//! event whose lifetime runs until the next quote for the same symbol;
+//! quotes are issued open-ended and *adjusted* when superseded — and, as in
+//! commercial feeds, a small fraction of quotes are later amended
+//! (cancel-and-replace revisions).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use lmerge_temporal::{Element, Time, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ticker workload parameters.
+#[derive(Clone, Debug)]
+pub struct TickerConfig {
+    /// Number of quotes to generate.
+    pub num_quotes: usize,
+    /// Number of distinct symbols.
+    pub symbols: u32,
+    /// Probability a quote is later amended (price correction).
+    pub amend_prob: f64,
+    /// Milliseconds between consecutive quotes.
+    pub quote_gap_ms: i64,
+    /// Emit a `stable` every this many quotes.
+    pub stable_every: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TickerConfig {
+    fn default() -> Self {
+        TickerConfig {
+            num_quotes: 10_000,
+            symbols: 40,
+            amend_prob: 0.02,
+            quote_gap_ms: 100,
+            stable_every: 200,
+            seed: 2012,
+        }
+    }
+}
+
+fn quote_payload(symbol: u32, price_cents: u64, seq: u64) -> Value {
+    let mut body = BytesMut::with_capacity(16);
+    body.put_u64_le(price_cents);
+    body.put_u64_le(seq);
+    Value {
+        key: symbol as i32,
+        body: Bytes::from(body),
+    }
+}
+
+/// Generate the ticker stream, ending with `stable(∞)`.
+pub fn generate_ticker(cfg: &TickerConfig) -> Vec<Element<Value>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.num_quotes * 2);
+    // Per symbol: (payload, vs, current ve) of the open quote.
+    let mut open: Vec<Option<(Value, Time, Time)>> = vec![None; cfg.symbols as usize];
+    let mut prices: Vec<u64> = (0..cfg.symbols)
+        .map(|_| rng.random_range(1000..50_000))
+        .collect();
+    let mut t: i64 = 0;
+    // The stable point must trail every open (adjustable) quote.
+    let mut last_stable = Time::MIN;
+
+    for seq in 0..cfg.num_quotes {
+        t += cfg.quote_gap_ms;
+        let sym = rng.random_range(0..cfg.symbols) as usize;
+        // Close the superseded quote.
+        if let Some((p, vs, ve)) = open[sym].take() {
+            out.push(Element::adjust(p, vs, ve, Time(t)));
+        }
+        // Random walk the price; occasionally amend the *new* quote later.
+        let delta = rng.random_range(0..200) as i64 - 100;
+        prices[sym] = (prices[sym] as i64 + delta).max(100) as u64;
+        let p = quote_payload(sym as u32, prices[sym], seq as u64);
+        out.push(Element::insert(p.clone(), t, Time::INFINITY));
+        open[sym] = Some((p.clone(), Time(t), Time::INFINITY));
+
+        if rng.random_bool(cfg.amend_prob.clamp(0.0, 1.0)) {
+            // Amend: cancel the quote and replace it with a corrected one.
+            out.push(Element::adjust(p, Time(t), Time::INFINITY, Time(t)));
+            prices[sym] += 1;
+            let fixed = quote_payload(sym as u32, prices[sym], seq as u64);
+            out.push(Element::insert(fixed.clone(), t, Time::INFINITY));
+            open[sym] = Some((fixed, Time(t), Time::INFINITY));
+        }
+
+        if (seq + 1) % cfg.stable_every == 0 {
+            // Everything before the oldest open quote is settled.
+            let oldest_open = open
+                .iter()
+                .flatten()
+                .map(|(_, vs, _)| *vs)
+                .min()
+                .unwrap_or(Time(t));
+            if oldest_open > last_stable {
+                out.push(Element::Stable(oldest_open));
+                last_stable = oldest_open;
+            }
+        }
+    }
+    // Close all open quotes at the end of the trading window.
+    let close = Time(t + cfg.quote_gap_ms);
+    for slot in open.iter_mut() {
+        if let Some((p, vs, ve)) = slot.take() {
+            out.push(Element::adjust(p, vs, ve, close));
+        }
+    }
+    out.push(Element::Stable(Time::INFINITY));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmerge_temporal::reconstitute::tdb_of;
+
+    #[test]
+    fn ticker_stream_is_well_formed() {
+        let elems = generate_ticker(&TickerConfig {
+            num_quotes: 2000,
+            ..Default::default()
+        });
+        let tdb = tdb_of(&elems).expect("valid stream");
+        // Every event ends up with a finite lifetime (all quotes closed).
+        for ((_, _), ve, _) in tdb.iter() {
+            assert!(!ve.is_infinite());
+        }
+    }
+
+    #[test]
+    fn contains_revisions() {
+        let elems = generate_ticker(&TickerConfig {
+            num_quotes: 1000,
+            ..Default::default()
+        });
+        assert!(elems.iter().any(|e| e.is_adjust()));
+    }
+
+    #[test]
+    fn quote_count_matches_tdb() {
+        let cfg = TickerConfig {
+            num_quotes: 500,
+            amend_prob: 0.0,
+            ..Default::default()
+        };
+        let tdb = tdb_of(&generate_ticker(&cfg)).unwrap();
+        assert_eq!(tdb.len(), 500, "one event per quote when nothing amends");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = TickerConfig::default();
+        assert_eq!(generate_ticker(&cfg), generate_ticker(&cfg));
+    }
+}

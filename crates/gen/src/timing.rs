@@ -1,0 +1,163 @@
+//! Arrival-time assignment and timing-fault injection.
+//!
+//! The evaluation's timing phenomena are all perturbations of when elements
+//! *arrive* at a query, expressed in virtual time:
+//!
+//! * [`assign_times`] — a constant presentation rate ("presented at a rate
+//!   of 5000 elements/sec", Section VI-E);
+//! * [`add_lag`] — a fixed delay ("we simulate lag on two of the input
+//!   streams by delaying event generation by a fixed amount of time",
+//!   Figure 5);
+//! * [`add_bursts`] — "inserting random delays between tuples in a stream
+//!   with a small probability (between 0.3 and 0.5%). The delays are chosen
+//!   from a truncated normal distribution with mean 20 and standard
+//!   deviation 5" (Figure 8); a delay between tuples pushes every later
+//!   tuple back, creating queue build-up and compensating spikes;
+//! * [`add_congestion`] — delays confined to a congestion window
+//!   (Figure 9).
+
+use lmerge_temporal::{Element, VTime, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An element with its virtual arrival time.
+pub type Timed = (VTime, Element<Value>);
+
+/// Spread elements at a constant rate of `rate_eps` elements per virtual
+/// second, starting at `VTime::ZERO`.
+pub fn assign_times(elements: &[Element<Value>], rate_eps: f64) -> Vec<Timed> {
+    assert!(rate_eps > 0.0, "rate must be positive");
+    let gap_us = 1_000_000.0 / rate_eps;
+    elements
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (VTime((i as f64 * gap_us) as u64), e.clone()))
+        .collect()
+}
+
+/// Delay every arrival by a fixed amount (µs).
+pub fn add_lag(timed: &mut [Timed], lag_us: u64) {
+    for (at, _) in timed.iter_mut() {
+        *at = at.advance(lag_us);
+    }
+}
+
+/// Sample a truncated (at zero) normal via Box–Muller.
+fn trunc_normal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + std * z).max(0.0)
+}
+
+/// Inject bursts: with probability `prob` per element, insert an extra
+/// delay ~ truncNormal(`mean_ms`, `std_ms`) *between* elements — shifting
+/// this and all later arrivals (queue build-up followed by a spike when the
+/// backlog drains).
+pub fn add_bursts(timed: &mut [Timed], prob: f64, mean_ms: f64, std_ms: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shift_us: u64 = 0;
+    for (at, _) in timed.iter_mut() {
+        if rng.random_bool(prob.clamp(0.0, 1.0)) {
+            shift_us += (trunc_normal(&mut rng, mean_ms, std_ms) * 1000.0) as u64;
+        }
+        *at = at.advance(shift_us);
+    }
+}
+
+/// Inject congestion: arrivals inside `[from, to)` are spaced out by an
+/// extra normally distributed delay each (mean/std in ms), pushing later
+/// elements back cumulatively; arrivals after the window keep only the
+/// accumulated backlog (which then drains as a spike).
+pub fn add_congestion(
+    timed: &mut [Timed],
+    from: VTime,
+    to: VTime,
+    mean_ms: f64,
+    std_ms: f64,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shift_us: u64 = 0;
+    for (at, _) in timed.iter_mut() {
+        if *at >= from && *at < to {
+            shift_us += (trunc_normal(&mut rng, mean_ms, std_ms) * 1000.0) as u64;
+        }
+        *at = at.advance(shift_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmerge_temporal::Value;
+
+    fn elems(n: usize) -> Vec<Element<Value>> {
+        (0..n)
+            .map(|i| Element::insert(Value::bare(i as i32), i as i64, i as i64 + 10))
+            .collect()
+    }
+
+    #[test]
+    fn constant_rate_spacing() {
+        let t = assign_times(&elems(5), 1000.0); // 1 per ms
+        assert_eq!(t[0].0, VTime(0));
+        assert_eq!(t[1].0, VTime(1000));
+        assert_eq!(t[4].0, VTime(4000));
+    }
+
+    #[test]
+    fn lag_shifts_uniformly() {
+        let mut t = assign_times(&elems(3), 1000.0);
+        add_lag(&mut t, 500_000);
+        assert_eq!(t[0].0, VTime(500_000));
+        assert_eq!(t[2].0, VTime(502_000));
+    }
+
+    #[test]
+    fn bursts_only_ever_delay() {
+        let base = assign_times(&elems(1000), 5000.0);
+        let mut t = base.clone();
+        add_bursts(&mut t, 0.005, 20.0, 5.0, 1);
+        let mut delayed = 0;
+        for (b, a) in base.iter().zip(&t) {
+            assert!(a.0 >= b.0, "bursts never move arrivals earlier");
+            if a.0 > b.0 {
+                delayed += 1;
+            }
+        }
+        assert!(delayed > 0, "some elements must be hit");
+        // Arrivals stay monotone.
+        assert!(t.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn congestion_confined_to_window_start() {
+        let base = assign_times(&elems(1000), 1000.0); // 1 ms apart, 1 s total
+        let mut t = base.clone();
+        add_congestion(
+            &mut t,
+            VTime::from_millis(200),
+            VTime::from_millis(400),
+            5.0,
+            1.0,
+            2,
+        );
+        // Before the window: untouched.
+        assert_eq!(t[100].0, base[100].0);
+        // Inside and after: pushed back.
+        assert!(t[300].0 > base[300].0);
+        assert!(t[900].0 > base[900].0, "backlog persists after the window");
+    }
+
+    #[test]
+    fn trunc_normal_is_nonnegative_and_centred() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| trunc_normal(&mut rng, 20.0, 5.0))
+            .collect();
+        assert!(samples.iter().all(|s| *s >= 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((18.0..22.0).contains(&mean), "mean ≈ 20, got {mean}");
+    }
+}

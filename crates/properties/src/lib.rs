@@ -1,0 +1,25 @@
+//! Compile-time stream properties and LMerge algorithm selection.
+//!
+//! Section III-C of the paper observes that properties of the input streams
+//! — ordering, absence of revisions, key constraints — "may lead to simpler
+//! or less space-intensive methods for LMerge", and Section IV-G sketches
+//! how such properties are *derived from query plans* rather than stipulated.
+//!
+//! This crate provides:
+//! * [`props::StreamProperties`] — the property vector a stream can carry;
+//! * [`props::RLevel`] — the paper's restriction spectrum R0–R4;
+//! * [`props::select`] — choose the weakest-state LMerge algorithm that is
+//!   sound for a given property vector;
+//! * [`plan`] — a lightweight logical-plan description with the inference
+//!   rules of Section IV-G (`infer`), covering all six illustrative
+//!   scenarios in the paper;
+//! * [`checker`] — a runtime verifier that a concrete element sequence
+//!   actually satisfies a claimed property vector (used by the generator and
+//!   test suites to keep claimed and actual properties honest).
+
+pub mod checker;
+pub mod plan;
+pub mod props;
+
+pub use plan::{infer, PlanNode};
+pub use props::{select, Ordering, RLevel, StreamProperties};

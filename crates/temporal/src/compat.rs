@@ -1,0 +1,535 @@
+//! Input/output compatibility conditions (Section III-D of the paper).
+//!
+//! These checkers are *oracles*: the LMerge algorithms never call them at
+//! runtime, but the test suites run them after every emitted element to
+//! verify that the output stream prefix remains compatible with the input
+//! prefixes — i.e. that whatever the inputs do next, the output can still be
+//! extended to match.
+//!
+//! `check_r3` implements conditions **C1–C3** for the R3 case (where
+//! `(Vs, Payload)` is a key of the TDB); `check_r4` implements the multiset
+//! conditions stated for the R4 case under the *tracking* policy (output
+//! stable point follows the maximum input stable point).
+//!
+//! ## Note on the C2 half-frozen condition
+//!
+//! The paper's C2 text for a half-frozen output event reads "the event is HF
+//! and `Lm ≤ L`". Taken literally this is unsound: if the output's stable
+//! point `L` were *ahead* of the supporting input's `Lm`, the input event
+//! could later be adjusted to an end time in `[Lm, L)` that the output could
+//! no longer follow. The parenthetical ("so the output event can be adjusted
+//! to match any changes in `TDBm`") shows the intent; we implement the sound
+//! direction `L ≤ Lm` (the output must not be *more* stable than its
+//! support), which coincides with the paper's condition in the `L = max Lm`
+//! regime that all its algorithms operate in.
+
+use crate::freeze::Freeze;
+use crate::payload::Payload;
+use crate::tdb::Tdb;
+use crate::time::Time;
+use std::collections::BTreeSet;
+
+/// A stream prefix as seen by the compatibility checker: its reconstituted
+/// TDB plus the latest `stable()` timestamp seen (`−∞` if none).
+#[derive(Debug)]
+pub struct StreamView<'a, P: Payload> {
+    /// The reconstituted TDB of the prefix.
+    pub tdb: &'a Tdb<P>,
+    /// The prefix's stable point (the paper's `Lm`, or `L` for the output).
+    pub stable: Time,
+}
+
+impl<'a, P: Payload> StreamView<'a, P> {
+    /// Bundle a TDB with its stable point.
+    pub fn new(tdb: &'a Tdb<P>, stable: Time) -> Self {
+        StreamView { tdb, stable }
+    }
+}
+
+// Manual impls: the derive would wrongly require `P: Copy` even though the
+// view only holds a reference.
+impl<P: Payload> Clone for StreamView<'_, P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<P: Payload> Copy for StreamView<'_, P> {}
+
+/// A specific violation of the compatibility conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation<P> {
+    /// C1: the output's stable point exceeds every input's.
+    OutputStableAhead {
+        /// The output stable point `L`.
+        output: Time,
+        /// `max_m Lm` over the inputs.
+        max_input: Time,
+    },
+    /// R3 key assumption broken: more than one output event for `(Vs, P)`.
+    DuplicateKey {
+        /// Offending validity start.
+        vs: Time,
+        /// Offending payload.
+        payload: P,
+    },
+    /// C2: a half-frozen output event with no input support.
+    HalfFrozenWithoutSupport {
+        /// Offending validity start.
+        vs: Time,
+        /// Offending payload.
+        payload: P,
+    },
+    /// C2: a fully frozen output event not fully frozen (identically) in any input.
+    FullyFrozenWithoutSupport {
+        /// Offending validity start.
+        vs: Time,
+        /// Offending payload.
+        payload: P,
+        /// The frozen end time.
+        ve: Time,
+    },
+    /// C3: an event the output must contain (or must already have half
+    /// frozen) is missing.
+    MissingRequiredEvent {
+        /// Required validity start.
+        vs: Time,
+        /// Required payload.
+        payload: P,
+    },
+    /// R4 tracking: multiset of fully frozen end times differs from the
+    /// leading input's.
+    FrozenMultisetMismatch {
+        /// Offending validity start.
+        vs: Time,
+        /// Offending payload.
+        payload: P,
+    },
+    /// R4 tracking: count of half-frozen events differs from the leading
+    /// input's.
+    HalfFrozenCountMismatch {
+        /// Offending validity start.
+        vs: Time,
+        /// Offending payload.
+        payload: P,
+        /// Count in the leading input.
+        input_count: usize,
+        /// Count in the output.
+        output_count: usize,
+    },
+}
+
+impl<P: std::fmt::Debug> std::fmt::Display for Violation<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Check conditions C1–C3 for the R3 case.
+///
+/// `inputs` are the views of the mutually consistent input prefixes;
+/// `output` is the view of the emitted output prefix. Returns the first
+/// violation found, or `Ok(())` when the output is compatible.
+pub fn check_r3<P: Payload>(
+    inputs: &[StreamView<'_, P>],
+    output: &StreamView<'_, P>,
+) -> Result<(), Violation<P>> {
+    check_c1(inputs, output)?;
+    check_c2(inputs, output)?;
+    check_c3(inputs, output)
+}
+
+fn check_c1<P: Payload>(
+    inputs: &[StreamView<'_, P>],
+    output: &StreamView<'_, P>,
+) -> Result<(), Violation<P>> {
+    let max_input = inputs.iter().map(|v| v.stable).max().unwrap_or(Time::MIN);
+    if output.stable > max_input {
+        return Err(Violation::OutputStableAhead {
+            output: output.stable,
+            max_input,
+        });
+    }
+    Ok(())
+}
+
+fn check_c2<P: Payload>(
+    inputs: &[StreamView<'_, P>],
+    output: &StreamView<'_, P>,
+) -> Result<(), Violation<P>> {
+    let l = output.stable;
+    for ((vs, p), ve, count) in output.tdb.iter() {
+        if count > 1 || output.tdb.count_key(p, *vs) > count {
+            return Err(Violation::DuplicateKey {
+                vs: *vs,
+                payload: p.clone(),
+            });
+        }
+        match Freeze::classify(*vs, ve, l) {
+            Freeze::Unfrozen => {} // no constraint
+            Freeze::HalfFrozen => {
+                let supported = inputs.iter().any(|inp| {
+                    inp.tdb.ves(p, *vs).is_some_and(|ves| {
+                        ves.keys().any(|vm| {
+                            // Exact match, or adjustable support (see module
+                            // docs on the C2 half-frozen direction).
+                            *vm == ve
+                                || match Freeze::classify(*vs, *vm, inp.stable) {
+                                    Freeze::HalfFrozen => l <= inp.stable,
+                                    Freeze::FullyFrozen => l <= *vm,
+                                    Freeze::Unfrozen => false,
+                                }
+                        })
+                    })
+                });
+                if !supported {
+                    return Err(Violation::HalfFrozenWithoutSupport {
+                        vs: *vs,
+                        payload: p.clone(),
+                    });
+                }
+            }
+            Freeze::FullyFrozen => {
+                let supported = inputs.iter().any(|inp| {
+                    inp.tdb.count(p, *vs, ve) > 0
+                        && Freeze::classify(*vs, ve, inp.stable) == Freeze::FullyFrozen
+                });
+                if !supported {
+                    return Err(Violation::FullyFrozenWithoutSupport {
+                        vs: *vs,
+                        payload: p.clone(),
+                        ve,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_c3<P: Payload>(
+    inputs: &[StreamView<'_, P>],
+    output: &StreamView<'_, P>,
+) -> Result<(), Violation<P>> {
+    let l = output.stable;
+    // Every (Vs, Payload) key appearing in any input.
+    let keys: BTreeSet<(Time, P)> = inputs
+        .iter()
+        .flat_map(|inp| inp.tdb.keys().cloned())
+        .collect();
+
+    for (vs, p) in &keys {
+        // Case 1: some input holds an FF event for (p, Vs).
+        let ff_event = inputs.iter().find_map(|inp| {
+            inp.tdb.ves(p, *vs).and_then(|ves| {
+                ves.keys()
+                    .find(|ve| Freeze::classify(*vs, **ve, inp.stable) == Freeze::FullyFrozen)
+                    .copied()
+            })
+        });
+        let out_ves = output.tdb.ves(p, *vs);
+        if let Some(ve) = ff_event {
+            let ok = if l <= *vs {
+                true // the event can still be added to the output
+            } else if *vs < l && l <= ve {
+                // Output must already hold a half-frozen event for the key.
+                out_ves.is_some_and(|m| {
+                    m.keys()
+                        .any(|vo| Freeze::classify(*vs, *vo, l) == Freeze::HalfFrozen)
+                })
+            } else {
+                // ve < l: output must contain the exact event.
+                output.tdb.count(p, *vs, ve) > 0
+            };
+            if !ok {
+                return Err(Violation::MissingRequiredEvent {
+                    vs: *vs,
+                    payload: p.clone(),
+                });
+            }
+            continue;
+        }
+
+        // Case 2: no FF event, but one or more inputs hold an HF event.
+        let max_hf_stable = inputs
+            .iter()
+            .filter(|inp| {
+                inp.tdb.ves(p, *vs).is_some_and(|ves| {
+                    ves.keys()
+                        .any(|ve| Freeze::classify(*vs, *ve, inp.stable) == Freeze::HalfFrozen)
+                })
+            })
+            .map(|inp| inp.stable)
+            .max();
+        if let Some(lm) = max_hf_stable {
+            let ok = if l <= *vs {
+                true
+            } else {
+                *vs < l
+                    && l <= lm
+                    && out_ves.is_some_and(|m| {
+                        m.keys()
+                            .any(|vo| Freeze::classify(*vs, *vo, l) == Freeze::HalfFrozen)
+                    })
+            };
+            if !ok {
+                return Err(Violation::MissingRequiredEvent {
+                    vs: *vs,
+                    payload: p.clone(),
+                });
+            }
+        }
+        // Unfrozen input events place no constraint on the output.
+    }
+    Ok(())
+}
+
+/// Check the R4 (multiset) conditions under the tracking policy, where the
+/// output stable point `L` follows the maximum input stable point.
+///
+/// Per the paper's final paragraph of Section III-D: `TDB_O` must contain all
+/// the fully frozen events of the leading input (with multiplicity) and an
+/// equal number of half-frozen events for each `(Vs, Payload)`.
+pub fn check_r4<P: Payload>(
+    inputs: &[StreamView<'_, P>],
+    output: &StreamView<'_, P>,
+) -> Result<(), Violation<P>> {
+    check_c1(inputs, output)?;
+    let l = output.stable;
+    let Some(leader) = inputs.iter().max_by_key(|v| v.stable) else {
+        return Ok(());
+    };
+    // Only portions the *output* has frozen are constrained; the leader's
+    // additional stability beyond L imposes nothing yet.
+    let keys: BTreeSet<(Time, P)> = leader
+        .tdb
+        .keys()
+        .chain(output.tdb.keys())
+        .cloned()
+        .collect();
+    for (vs, p) in &keys {
+        if *vs >= l {
+            continue; // unfrozen territory: unconstrained
+        }
+        let empty = std::collections::BTreeMap::new();
+        let in_ves = leader.tdb.ves(p, *vs).unwrap_or(&empty);
+        let out_ves = output.tdb.ves(p, *vs).unwrap_or(&empty);
+        // Fully frozen (Ve < L) multisets must match exactly.
+        let in_ff: Vec<(Time, usize)> = in_ves
+            .iter()
+            .filter(|(ve, _)| **ve < l)
+            .map(|(ve, c)| (*ve, *c))
+            .collect();
+        let out_ff: Vec<(Time, usize)> = out_ves
+            .iter()
+            .filter(|(ve, _)| **ve < l)
+            .map(|(ve, c)| (*ve, *c))
+            .collect();
+        if in_ff != out_ff {
+            return Err(Violation::FrozenMultisetMismatch {
+                vs: *vs,
+                payload: p.clone(),
+            });
+        }
+        // Half-frozen (Ve ≥ L) counts must match.
+        let in_hf: usize = in_ves
+            .iter()
+            .filter(|(ve, _)| **ve >= l)
+            .map(|(_, c)| c)
+            .sum();
+        let out_hf: usize = out_ves
+            .iter()
+            .filter(|(ve, _)| **ve >= l)
+            .map(|(_, c)| c)
+            .sum();
+        if in_hf != out_hf {
+            return Err(Violation::HalfFrozenCountMismatch {
+                vs: *vs,
+                payload: p.clone(),
+                input_count: in_hf,
+                output_count: out_hf,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+
+    fn tdb(events: &[(&'static str, i64, i64)]) -> Tdb<&'static str> {
+        events
+            .iter()
+            .map(|(p, vs, ve)| {
+                Event::new(*p, *vs, if *ve == -1 { Time::INFINITY } else { Time(*ve) })
+            })
+            .collect()
+    }
+
+    /// The I1/I2 input TDBs of Section III-D.
+    fn i1() -> Tdb<&'static str> {
+        tdb(&[("A", 2, 16), ("B", 3, 10), ("C", 4, 18), ("D", 15, 20)])
+    }
+
+    fn i2() -> Tdb<&'static str> {
+        tdb(&[("A", 2, 12), ("B", 3, 10), ("C", 4, 18), ("E", 17, 21)])
+    }
+
+    #[test]
+    fn paper_o1_is_compatible() {
+        let (t1, t2) = (i1(), i2());
+        let inputs = [
+            StreamView::new(&t1, Time(14)),
+            StreamView::new(&t2, Time(11)),
+        ];
+        let o1 = tdb(&[("A", 2, -1), ("B", 3, 10), ("C", 4, -1)]);
+        let out = StreamView::new(&o1, Time(11));
+        assert_eq!(check_r3(&inputs, &out), Ok(()));
+    }
+
+    #[test]
+    fn paper_o2_is_compatible() {
+        let (t1, t2) = (i1(), i2());
+        let inputs = [
+            StreamView::new(&t1, Time(14)),
+            StreamView::new(&t2, Time(11)),
+        ];
+        let o2 = tdb(&[
+            ("A", 2, 16),
+            ("B", 3, 10),
+            ("C", 4, 18),
+            ("D", 15, 20),
+            ("E", 17, 21),
+        ]);
+        let out = StreamView::new(&o2, Time(14));
+        assert_eq!(check_r3(&inputs, &out), Ok(()));
+    }
+
+    #[test]
+    fn paper_o3_is_incompatible() {
+        let (t1, t2) = (i1(), i2());
+        let inputs = [
+            StreamView::new(&t1, Time(14)),
+            StreamView::new(&t2, Time(11)),
+        ];
+        // O3 (last:13): A fully frozen at 12 (contradicts I1), and B missing.
+        let o3 = tdb(&[("A", 2, 12), ("C", 4, 18), ("D", 15, 20)]);
+        let out = StreamView::new(&o3, Time(13));
+        let err = check_r3(&inputs, &out).unwrap_err();
+        // Both cited defects are real; the checker reports the first it hits.
+        assert!(
+            matches!(
+                err,
+                Violation::FullyFrozenWithoutSupport { .. }
+                    | Violation::MissingRequiredEvent { .. }
+            ),
+            "unexpected violation: {err:?}"
+        );
+    }
+
+    #[test]
+    fn c1_output_cannot_outpace_inputs() {
+        let t1 = tdb(&[("A", 2, 16)]);
+        let inputs = [StreamView::new(&t1, Time(10))];
+        let o = tdb(&[("A", 2, 16)]);
+        let out = StreamView::new(&o, Time(12));
+        assert!(matches!(
+            check_r3(&inputs, &out),
+            Err(Violation::OutputStableAhead { .. })
+        ));
+    }
+
+    #[test]
+    fn c2_duplicate_key_rejected() {
+        let t1 = tdb(&[("A", 2, 16)]);
+        let inputs = [StreamView::new(&t1, Time(0))];
+        let o = tdb(&[("A", 2, 16), ("A", 2, 18)]);
+        let out = StreamView::new(&o, Time::MIN);
+        assert!(matches!(
+            check_r3(&inputs, &out),
+            Err(Violation::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn c2_unfrozen_output_event_is_unconstrained() {
+        // Output invents an event no input has — fine while unfrozen.
+        let t1 = tdb(&[("A", 2, 16)]);
+        let inputs = [StreamView::new(&t1, Time(1))];
+        let o = tdb(&[("Z", 50, 60)]);
+        let out = StreamView::new(&o, Time(1));
+        // But C3 then requires A... A has vs=2 >= L=1, so no requirement yet.
+        assert_eq!(check_r3(&inputs, &out), Ok(()));
+    }
+
+    #[test]
+    fn c3_missing_required_event_detected() {
+        // Input: B fully frozen (stable 14 > ve 10). Output stable 12 with no
+        // B at all: B can no longer be added (vs 3 < 12) → violation.
+        let t1 = tdb(&[("B", 3, 10)]);
+        let inputs = [StreamView::new(&t1, Time(14))];
+        let o: Tdb<&str> = Tdb::new();
+        let out = StreamView::new(&o, Time(12));
+        assert!(matches!(
+            check_r3(&inputs, &out),
+            Err(Violation::MissingRequiredEvent { .. })
+        ));
+    }
+
+    #[test]
+    fn c3_event_still_addable_when_output_lags() {
+        // Same as above, but output stable point is 3 ≤ vs: no violation.
+        let t1 = tdb(&[("B", 3, 10)]);
+        let inputs = [StreamView::new(&t1, Time(14))];
+        let o: Tdb<&str> = Tdb::new();
+        let out = StreamView::new(&o, Time(3));
+        assert_eq!(check_r3(&inputs, &out), Ok(()));
+    }
+
+    #[test]
+    fn r4_tracking_requires_matching_ff_multisets() {
+        let mut t1: Tdb<&str> = Tdb::new();
+        t1.insert(Event::new("A", 2, 5));
+        t1.insert(Event::new("A", 2, 5));
+        let inputs = [StreamView::new(&t1, Time(10))];
+        let mut o: Tdb<&str> = Tdb::new();
+        o.insert(Event::new("A", 2, 5));
+        let out = StreamView::new(&o, Time(10));
+        assert!(matches!(
+            check_r4(&inputs, &out),
+            Err(Violation::FrozenMultisetMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn r4_tracking_requires_matching_hf_counts() {
+        let mut t1: Tdb<&str> = Tdb::new();
+        t1.insert(Event::new("A", 2, 20));
+        t1.insert(Event::new("A", 2, 25));
+        let inputs = [StreamView::new(&t1, Time(10))];
+        let mut o: Tdb<&str> = Tdb::new();
+        o.insert(Event::new("A", 2, 20));
+        let out = StreamView::new(&o, Time(10));
+        assert!(matches!(
+            check_r4(&inputs, &out),
+            Err(Violation::HalfFrozenCountMismatch {
+                input_count: 2,
+                output_count: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn r4_accepts_exact_tracking() {
+        let mut t1: Tdb<&str> = Tdb::new();
+        t1.insert(Event::new("A", 2, 5));
+        t1.insert(Event::new("A", 2, 20));
+        let inputs = [StreamView::new(&t1, Time(10))];
+        let out_tdb = t1.clone();
+        let out = StreamView::new(&out_tdb, Time(10));
+        assert_eq!(check_r4(&inputs, &out), Ok(()));
+    }
+}

@@ -1,0 +1,45 @@
+//! Temporal stream model for Logical Merge (LMerge).
+//!
+//! This crate implements the stream/temporal-database model of Section III of
+//! *Physically Independent Stream Merging* (Chandramouli, Maier, Goldstein,
+//! ICDE 2012):
+//!
+//! * A **logical stream** is a temporal database ([`Tdb`]): a multiset of
+//!   events, each a payload plus a half-open validity interval `[Vs, Ve)`.
+//! * A **physical stream** is a sequence of elements that *reconstitutes*
+//!   into a TDB. The primary element model ([`Element`]) is the
+//!   StreamInsight model of the paper's Example 5 — `insert`, `adjust`, and
+//!   `stable` elements. Two alternative models from the paper are also
+//!   provided: the `a`/`m`/`f` model of Example 1 ([`amf`]) and the
+//!   `open`/`close` model of Example 3 ([`openclose`]), with lossless
+//!   conversions into the primary model.
+//! * [`reconstitute`] implements the `tdb(S, i)` reconstitution function and
+//!   validates the ordering constraints imposed by `stable()` punctuation.
+//! * [`freeze`] classifies TDB events as unfrozen / half frozen / fully
+//!   frozen relative to a stable point (Section III-C).
+//! * [`compat`] implements the paper's exact compatibility conditions C1–C3
+//!   for the R3 case and the multiset conditions for R4 (Section III-D).
+//!   These are used throughout the workspace as *test oracles* for the
+//!   LMerge algorithms.
+//! * [`consistency`] provides mutual-consistency checks over stream prefixes
+//!   (Section III-B).
+
+pub mod amf;
+pub mod compat;
+pub mod consistency;
+pub mod element;
+pub mod event;
+pub mod freeze;
+pub mod openclose;
+pub mod payload;
+pub mod reconstitute;
+pub mod tdb;
+pub mod time;
+
+pub use element::{Element, StreamId};
+pub use event::Event;
+pub use freeze::Freeze;
+pub use payload::{HeapSize, Payload, Value};
+pub use reconstitute::{ReconstituteError, Reconstituter};
+pub use tdb::Tdb;
+pub use time::{Time, VTime};

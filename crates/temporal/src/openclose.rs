@@ -1,0 +1,269 @@
+//! The `open`/`close` element model of the paper's Example 3, corresponding
+//! to I-/D-streams (STREAM, Oracle CEP) and positive/negative tuples (Nile).
+//!
+//! * `open(p, Vs)` starts an event with payload `p` at `Vs`.
+//! * `close(p, Ve)` ends the event with payload `p` at `Ve`; a later `close`
+//!   for the same payload *revises* the earlier one (paper stream `W[6]`).
+//!
+//! The model assumes at most one event per payload is active at a time.
+
+use crate::element::Element;
+use crate::payload::Payload;
+use crate::time::Time;
+use std::collections::HashMap;
+
+/// An element in the open/close model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OpenClose<P> {
+    /// `open(p, Vs)`: the event with payload `p` starts at `Vs`.
+    Open {
+        /// Payload of the new event.
+        payload: P,
+        /// Validity start.
+        vs: Time,
+    },
+    /// `close(p, Ve)`: the event with payload `p` ends at `Ve`.
+    Close {
+        /// Payload of the event being closed (or re-closed).
+        payload: P,
+        /// Validity end.
+        ve: Time,
+    },
+}
+
+impl<P: Payload> OpenClose<P> {
+    /// `open(p, vs)`.
+    pub fn open(payload: P, vs: impl Into<Time>) -> OpenClose<P> {
+        OpenClose::Open {
+            payload,
+            vs: vs.into(),
+        }
+    }
+
+    /// `close(p, ve)`.
+    pub fn close(payload: P, ve: impl Into<Time>) -> OpenClose<P> {
+        OpenClose::Close {
+            payload,
+            ve: ve.into(),
+        }
+    }
+}
+
+/// Errors converting an open/close stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OcError {
+    /// `close` for a payload that was never opened.
+    CloseWithoutOpen,
+    /// A second `open` for a payload whose event is still active.
+    DuplicateOpen,
+}
+
+impl std::fmt::Display for OcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OcError::CloseWithoutOpen => write!(f, "close() without a matching open()"),
+            OcError::DuplicateOpen => write!(f, "open() while an event for the payload is active"),
+        }
+    }
+}
+
+impl std::error::Error for OcError {}
+
+/// Stateful converter from open/close into the StreamInsight model.
+///
+/// `open(p, Vs)` becomes `insert(p, Vs, ∞)`; `close(p, Ve)` becomes an
+/// `adjust` from the tracked current end. Because the open/close model has
+/// no punctuation, the converter never emits `stable` elements; callers that
+/// know the stream is finished may append `stable(∞)` themselves.
+#[derive(Debug, Default)]
+pub struct OcConverter<P: Payload> {
+    /// payload → (Vs, current Ve).
+    active: HashMap<P, (Time, Time)>,
+}
+
+impl<P: Payload> OcConverter<P> {
+    /// A converter with no history.
+    pub fn new() -> OcConverter<P> {
+        OcConverter {
+            active: HashMap::new(),
+        }
+    }
+
+    /// Convert one element, appending StreamInsight equivalents to `out`.
+    pub fn convert(
+        &mut self,
+        elem: &OpenClose<P>,
+        out: &mut Vec<Element<P>>,
+    ) -> Result<(), OcError> {
+        match elem {
+            OpenClose::Open { payload, vs } => {
+                match self.active.get(payload) {
+                    // Re-opening after a close is a *new* event only in
+                    // models richer than Example 3; the paper assumes one
+                    // event per payload, so any prior record is a conflict.
+                    Some(_) => return Err(OcError::DuplicateOpen),
+                    None => {
+                        self.active.insert(payload.clone(), (*vs, Time::INFINITY));
+                        out.push(Element::insert(payload.clone(), *vs, Time::INFINITY));
+                    }
+                }
+            }
+            OpenClose::Close { payload, ve } => {
+                let Some((vs, cur)) = self.active.get_mut(payload) else {
+                    return Err(OcError::CloseWithoutOpen);
+                };
+                let vold = *cur;
+                *cur = *ve;
+                out.push(Element::adjust(payload.clone(), *vs, vold, *ve));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert a whole prefix.
+    pub fn convert_all(&mut self, elems: &[OpenClose<P>]) -> Result<Vec<Element<P>>, OcError> {
+        let mut out = Vec::with_capacity(elems.len());
+        for e in elems {
+            self.convert(e, &mut out)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Convert a complete open/close stream into StreamInsight elements.
+pub fn to_streaminsight<P: Payload>(elems: &[OpenClose<P>]) -> Result<Vec<Element<P>>, OcError> {
+    OcConverter::new().convert_all(elems)
+}
+
+/// Property check (Section III-C): elements ordered on their time attribute.
+pub fn is_time_ordered<P: Payload>(elems: &[OpenClose<P>]) -> bool {
+    let mut last = Time::MIN;
+    for e in elems {
+        let t = match e {
+            OpenClose::Open { vs, .. } => *vs,
+            OpenClose::Close { ve, .. } => *ve,
+        };
+        if t < last {
+            return false;
+        }
+        last = t;
+    }
+    true
+}
+
+/// Property check (Section III-C): at most one `close` per `open`.
+pub fn has_single_close<P: Payload>(elems: &[OpenClose<P>]) -> bool {
+    let mut closes: HashMap<&P, usize> = HashMap::new();
+    for e in elems {
+        if let OpenClose::Close { payload, .. } = e {
+            let c = closes.entry(payload).or_insert(0);
+            *c += 1;
+            if *c > 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reconstitute::tdb_of;
+    use crate::tdb::Tdb;
+    use crate::Event;
+
+    type Oc = OpenClose<&'static str>;
+
+    /// The three equivalent prefixes of the paper's Example 3.
+    fn s5() -> Vec<Oc> {
+        vec![
+            Oc::open("A", 1),
+            Oc::open("B", 2),
+            Oc::open("C", 3),
+            Oc::close("A", 4),
+            Oc::close("B", 5),
+        ]
+    }
+
+    fn u5() -> Vec<Oc> {
+        vec![
+            Oc::open("A", 1),
+            Oc::close("A", 4),
+            Oc::open("B", 2),
+            Oc::close("B", 5),
+            Oc::open("C", 3),
+        ]
+    }
+
+    fn w6() -> Vec<Oc> {
+        vec![
+            Oc::open("B", 2),
+            Oc::close("B", 6),
+            Oc::open("A", 1),
+            Oc::open("C", 3),
+            Oc::close("A", 4),
+            Oc::close("B", 5),
+        ]
+    }
+
+    fn example3_tdb() -> Tdb<&'static str> {
+        [
+            Event::new("A", 1, 4),
+            Event::new("B", 2, 5),
+            Event::new("C", 3, Time::INFINITY),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn example3_all_three_prefixes_equivalent() {
+        for stream in [s5(), u5(), w6()] {
+            let si = to_streaminsight(&stream).unwrap();
+            assert_eq!(tdb_of(&si).unwrap(), example3_tdb());
+        }
+    }
+
+    #[test]
+    fn example3_ordering_property() {
+        // "S[5] has this property, but neither U[5] nor W[6] does."
+        assert!(is_time_ordered(&s5()));
+        assert!(!is_time_ordered(&u5()));
+        assert!(!is_time_ordered(&w6()));
+    }
+
+    #[test]
+    fn example3_single_close_property() {
+        // "S[5] and U[5] satisfy this condition, but not W[6]."
+        assert!(has_single_close(&s5()));
+        assert!(has_single_close(&u5()));
+        assert!(!has_single_close(&w6()));
+    }
+
+    #[test]
+    fn close_without_open_errors() {
+        assert_eq!(
+            to_streaminsight(&[Oc::close("A", 4)]).unwrap_err(),
+            OcError::CloseWithoutOpen
+        );
+    }
+
+    #[test]
+    fn duplicate_open_errors() {
+        assert_eq!(
+            to_streaminsight(&[Oc::open("A", 1), Oc::open("A", 2)]).unwrap_err(),
+            OcError::DuplicateOpen
+        );
+    }
+
+    #[test]
+    fn reclose_revises_previous_close() {
+        // W[6]'s close(B,6) then close(B,5): the final end is 5.
+        let si =
+            to_streaminsight(&[Oc::open("B", 2), Oc::close("B", 6), Oc::close("B", 5)]).unwrap();
+        let tdb = tdb_of(&si).unwrap();
+        assert_eq!(tdb.count(&"B", Time(2), Time(5)), 1);
+        assert_eq!(tdb.len(), 1);
+    }
+}

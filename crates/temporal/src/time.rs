@@ -1,0 +1,218 @@
+//! Application time and virtual wall-clock time.
+//!
+//! The paper distinguishes *application time* (the `Vs`/`Ve` timestamps
+//! carried by events) from *system time* (the order/instant at which stream
+//! elements arrive). We model application time as [`Time`] and system time as
+//! [`VTime`], a virtual wall clock in microseconds used by the engine's
+//! executor to simulate lag, burstiness, and congestion deterministically.
+
+use std::fmt;
+
+/// A point in application time.
+///
+/// Validity intervals are half-open `[Vs, Ve)`; `Ve` may be [`Time::INFINITY`]
+/// (the paper's `+∞`). Arithmetic saturates at infinity so that lifetime
+/// manipulation (e.g. the engine's `AlterLifetime` operator) never wraps.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub i64);
+
+impl Time {
+    /// The paper's `+∞`: an end time that never arrives.
+    pub const INFINITY: Time = Time(i64::MAX);
+    /// The smallest representable time; used as the initial value of
+    /// `MaxStable` / `MaxVs` (the paper's `−∞`).
+    pub const MIN: Time = Time(i64::MIN);
+    /// Application-time zero.
+    pub const ZERO: Time = Time(0);
+
+    /// Whether this is the infinite end time.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self == Time::INFINITY
+    }
+
+    /// Saturating addition that preserves infinity.
+    #[inline]
+    #[must_use]
+    pub fn saturating_add(self, delta: i64) -> Time {
+        if self.is_infinite() {
+            Time::INFINITY
+        } else {
+            Time(self.0.saturating_add(delta))
+        }
+    }
+
+    /// Saturating subtraction that preserves infinity.
+    #[inline]
+    #[must_use]
+    pub fn saturating_sub(self, delta: i64) -> Time {
+        if self.is_infinite() {
+            Time::INFINITY
+        } else {
+            Time(self.0.saturating_sub(delta))
+        }
+    }
+
+    /// The maximum of two times.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The minimum of two times.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl From<i64> for Time {
+    fn from(t: i64) -> Self {
+        Time(t)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else if *self == Time::MIN {
+            write!(f, "-∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Virtual wall-clock time in microseconds.
+///
+/// The engine's executor runs on this clock: sources schedule element
+/// arrivals at `VTime` instants, operators charge simulated CPU cost in
+/// microseconds, and all latency/throughput metrics are measured against it.
+/// Using a virtual clock makes the paper's timing-sensitive experiments
+/// (Figures 5, 8, 9, 10) exactly reproducible on any machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VTime(pub u64);
+
+impl VTime {
+    /// Virtual time zero (start of the run).
+    pub const ZERO: VTime = VTime(0);
+
+    /// Construct from whole virtual seconds.
+    #[inline]
+    pub fn from_secs(s: u64) -> VTime {
+        VTime(s * 1_000_000)
+    }
+
+    /// Construct from whole virtual milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> VTime {
+        VTime(ms * 1_000)
+    }
+
+    /// This instant expressed in (fractional) virtual seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Microseconds since the start of the run.
+    #[inline]
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Advance by `us` microseconds.
+    #[inline]
+    #[must_use]
+    pub fn advance(self, us: u64) -> VTime {
+        VTime(self.0.saturating_add(us))
+    }
+
+    /// The (saturating) duration from `earlier` to `self`, in microseconds.
+    #[inline]
+    pub fn since(self, earlier: VTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Debug for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinity_ordering() {
+        assert!(Time(100) < Time::INFINITY);
+        assert!(Time::MIN < Time(0));
+        assert!(Time::MIN < Time::INFINITY);
+    }
+
+    #[test]
+    fn saturating_add_preserves_infinity() {
+        assert_eq!(Time::INFINITY.saturating_add(5), Time::INFINITY);
+        assert_eq!(Time(10).saturating_add(5), Time(15));
+        assert_eq!(Time(i64::MAX - 1).saturating_add(10), Time::INFINITY);
+    }
+
+    #[test]
+    fn saturating_sub_preserves_infinity() {
+        assert_eq!(Time::INFINITY.saturating_sub(5), Time::INFINITY);
+        assert_eq!(Time(10).saturating_sub(4), Time(6));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Time(3).max(Time(7)), Time(7));
+        assert_eq!(Time(3).min(Time(7)), Time(3));
+        assert_eq!(Time::INFINITY.max(Time(7)), Time::INFINITY);
+    }
+
+    #[test]
+    fn display_infinity() {
+        assert_eq!(format!("{}", Time::INFINITY), "∞");
+        assert_eq!(format!("{}", Time::MIN), "-∞");
+        assert_eq!(format!("{}", Time(42)), "42");
+    }
+
+    #[test]
+    fn vtime_units() {
+        assert_eq!(VTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(VTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(VTime::from_secs(1).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn vtime_advance_and_since() {
+        let t = VTime::ZERO.advance(500);
+        assert_eq!(t.since(VTime::ZERO), 500);
+        assert_eq!(VTime::ZERO.since(t), 0, "since saturates");
+    }
+}

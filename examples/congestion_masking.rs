@@ -1,0 +1,81 @@
+//! Fast availability (paper Sections II-2 and VI-E-2): three copies of a
+//! query suffer network congestion at different times; the merged output
+//! stays steady throughout.
+//!
+//! Run with: `cargo run --example congestion_masking`
+
+use lmerge::core::{LMergeR3, LogicalMerge};
+use lmerge::engine::{MergeRun, Query, RunConfig, TimedElement};
+use lmerge::gen::timing::add_congestion;
+use lmerge::gen::{assign_times, diverge, generate, DivergenceConfig, GenConfig};
+use lmerge::temporal::{VTime, Value};
+
+fn main() {
+    let cfg = GenConfig {
+        num_events: 20_000,
+        disorder: 0.2,
+        disorder_window_ms: 2_000,
+        stable_freq: 0.01,
+        event_duration_ms: 1_000,
+        max_gap_ms: 20,
+        payload_len: 32,
+        ..Default::default()
+    };
+    let reference = generate(&cfg);
+    let div = DivergenceConfig::default();
+
+    // Copy i gets congested during seconds [2i+1, 2i+2).
+    let queries: Vec<Query<Value>> = (0..3u64)
+        .map(|i| {
+            let copy = diverge(&reference.elements, &div, i);
+            let mut timed = assign_times(&copy, 5_000.0);
+            add_congestion(
+                &mut timed,
+                VTime::from_secs(2 * i + 1),
+                VTime::from_secs(2 * i + 2),
+                1.5,
+                0.4,
+                77 + i,
+            );
+            Query::passthrough(
+                timed
+                    .into_iter()
+                    .map(|(at, e)| TimedElement::new(at, e))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let lmerge: Box<dyn LogicalMerge<Value>> = Box::new(LMergeR3::new(3));
+    let metrics = MergeRun::new(queries, lmerge, RunConfig::default()).run();
+
+    println!("per-second delivery rates (elements/s):");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>10}",
+        "sec", "in0", "in1", "in2", "output"
+    );
+    let last = metrics.drained_at.as_micros() / 1_000_000;
+    for s in 0..=last {
+        println!(
+            "{:>6} {:>8} {:>8} {:>8} {:>10}",
+            s,
+            metrics.input_series[0].at(s),
+            metrics.input_series[1].at(s),
+            metrics.input_series[2].at(s),
+            metrics.output_series.at(s),
+        );
+    }
+    println!(
+        "\noutput CV {:.3} vs worst input CV {:.3} — congestion masked",
+        metrics.output_series.coefficient_of_variation(),
+        metrics
+            .input_series
+            .iter()
+            .map(|s| s.coefficient_of_variation())
+            .fold(0.0, f64::max)
+    );
+    println!(
+        "mean merge latency: {:.1} ms",
+        metrics.mean_latency_us() / 1000.0
+    );
+}

@@ -1,0 +1,61 @@
+//! Dynamic plan selection with fast-forward feedback (paper Sections II-3,
+//! V-D, and VI-E-3): two plans whose costs favour different data batches,
+//! merged by LMerge; feedback signals let the momentarily-slower plan skip
+//! dead work and stay ready to take over.
+//!
+//! Run with: `cargo run --example plan_switching`
+
+use lmerge::core::{LMergeR3, LogicalMerge};
+use lmerge::engine::ops::UdfSelect;
+use lmerge::engine::{MergeRun, Operator, Query, RunConfig, TimedElement};
+use lmerge::gen::batched::{generate_batched, BatchedConfig};
+use lmerge::temporal::{VTime, Value};
+
+fn build_query(cfg: &BatchedConfig, expensive_small: bool) -> Query<Value> {
+    let (elems, _) = generate_batched(cfg);
+    let source: Vec<TimedElement<Value>> = elems
+        .into_iter()
+        .map(|e| TimedElement::new(VTime::ZERO, e))
+        .collect();
+    let udf = if expensive_small {
+        UdfSelect::udf0(200, 800, 20)
+    } else {
+        UdfSelect::udf1(200, 800, 20)
+    };
+    Query::new(source, vec![Box::new(udf) as Box<dyn Operator<Value>>]).with_base_cost(0)
+}
+
+fn run(feedback: bool, cfg: &BatchedConfig) -> f64 {
+    let queries = vec![build_query(cfg, true), build_query(cfg, false)];
+    let lmerge: Box<dyn LogicalMerge<Value>> = Box::new(LMergeR3::new(2));
+    let metrics = MergeRun::new(
+        queries,
+        lmerge,
+        RunConfig {
+            feedback,
+            ..Default::default()
+        },
+    )
+    .run();
+    metrics.completion().as_secs_f64()
+}
+
+fn main() {
+    let cfg = BatchedConfig {
+        num_events: 40_000,
+        min_batch: 3_600,
+        max_batch: 4_400,
+        event_duration_ms: 400,
+        stable_every: 200,
+        ..Default::default()
+    };
+    println!("two equivalent plans; batches alternate between the value");
+    println!("ranges each plan is slow on — the optimal plan keeps switching\n");
+
+    let plain = run(false, &cfg);
+    println!("LMerge without feedback: {plain:.1} virtual seconds");
+    let fed = run(true, &cfg);
+    println!("LMerge with feedback:    {fed:.1} virtual seconds");
+    println!("\nfast-forward speedup: {:.1}x", plain / fed);
+    assert!(fed < plain, "feedback must not slow the query down");
+}

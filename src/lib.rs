@@ -1,0 +1,45 @@
+//! # lmerge — Physically Independent Stream Merging
+//!
+//! Umbrella crate re-exporting the whole workspace: a production-quality
+//! Rust reproduction of *Physically Independent Stream Merging*
+//! (Chandramouli, Maier, Goldstein, ICDE 2012) — the **Logical Merge
+//! (LMerge)** operator, which merges multiple physically divergent but
+//! logically consistent data streams into a single stream compatible with
+//! all of them.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lmerge::core::{LMergeR3, LogicalMerge};
+//! use lmerge::temporal::{Element, Time};
+//!
+//! // Two physically different presentations of the same logical stream.
+//! let mut lm: LMergeR3<&str> = LMergeR3::new(2);
+//! let mut out = Vec::new();
+//!
+//! // Input 0 inserts A with a provisional end; input 1 already knows more.
+//! lm.push(lmerge::temporal::StreamId(0), &Element::insert("A", 6, 7), &mut out);
+//! lm.push(lmerge::temporal::StreamId(1), &Element::insert("A", 6, 12), &mut out);
+//! lm.push(lmerge::temporal::StreamId(1), &Element::stable(20), &mut out);
+//!
+//! // The merged output reconstitutes to the single event ⟨A, [6, 12)⟩.
+//! let tdb = lmerge::temporal::reconstitute::tdb_of(&out).unwrap();
+//! assert_eq!(tdb.count(&"A", Time(6), Time(12)), 1);
+//! ```
+//!
+//! ## Layout
+//!
+//! * [`temporal`] — the stream/TDB model (Section III of the paper).
+//! * [`properties`] — compile-time stream properties and algorithm selection.
+//! * [`core`] — the LMerge algorithms R0–R4, policies, attach/detach,
+//!   feedback (Sections IV and V).
+//! * [`engine`] — a mini-DSMS substrate: operators, plans, virtual-time
+//!   executor, metrics (the StreamInsight stand-in for Section VI).
+//! * [`gen`] — the paper's synthetic workload generator and divergence /
+//!   lag / burst / congestion models (Section VI-B).
+
+pub use lmerge_core as core;
+pub use lmerge_engine as engine;
+pub use lmerge_gen as gen;
+pub use lmerge_properties as properties;
+pub use lmerge_temporal as temporal;

@@ -1,0 +1,81 @@
+//! Fast availability under CPU asymmetry (paper Section II-2): identical
+//! plans on machines with different processor resources — the merge follows
+//! whichever replica is faster, and completion tracks the fast machine.
+
+use lmerge::core::{LMergeR3, LogicalMerge};
+use lmerge::engine::{MergeRun, Query, RunConfig, TimedElement};
+use lmerge::gen::{diverge, generate, DivergenceConfig, GenConfig};
+use lmerge::temporal::{Value, VTime};
+
+fn sources() -> Vec<Vec<TimedElement<Value>>> {
+    let r = generate(&GenConfig::small(2_000, 91).with_disorder(0.2));
+    let div = DivergenceConfig::default();
+    (0..2u64)
+        .map(|i| {
+            diverge(&r.elements, &div, i)
+                .into_iter()
+                .map(|e| TimedElement::new(VTime::ZERO, e))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn completion_tracks_the_fast_machine() {
+    let run = |costs: [u64; 2]| {
+        let mut srcs = sources().into_iter();
+        let queries = vec![
+            Query::passthrough(srcs.next().unwrap()).with_base_cost(costs[0]),
+            Query::passthrough(srcs.next().unwrap()).with_base_cost(costs[1]),
+        ];
+        MergeRun::new(
+            queries,
+            Box::new(LMergeR3::<Value>::new(2)),
+            RunConfig::default(),
+        )
+        .run()
+    };
+
+    // Balanced machines.
+    let balanced = run([10, 10]);
+    // One machine 20x slower (CPU contention).
+    let skewed = run([10, 200]);
+    // Both slow.
+    let both_slow = run([200, 200]);
+
+    let b = balanced.completion().as_secs_f64();
+    let s = skewed.completion().as_secs_f64();
+    let w = both_slow.completion().as_secs_f64();
+    assert!(
+        s < 1.5 * b,
+        "one slow replica must barely matter: balanced {b:.3}s vs skewed {s:.3}s"
+    );
+    assert!(
+        w > 5.0 * b,
+        "both slow is the real worst case: {w:.3}s vs {b:.3}s"
+    );
+    // Same logical output volume regardless of which machine led.
+    assert_eq!(balanced.merge.inserts_out, skewed.merge.inserts_out);
+}
+
+#[test]
+fn slow_replica_contributes_nothing_but_costs_nothing() {
+    let mut srcs = sources().into_iter();
+    let queries = vec![
+        Query::passthrough(srcs.next().unwrap()).with_base_cost(1),
+        Query::passthrough(srcs.next().unwrap()).with_base_cost(500),
+    ];
+    let metrics = MergeRun::new(
+        queries,
+        Box::new(LMergeR3::<Value>::new(2)),
+        RunConfig::default(),
+    )
+    .run();
+    // The fast replica supplies (essentially) every output.
+    let fast_delivered: u64 = metrics.input_series[0].total();
+    let slow_delivered: u64 = metrics.input_series[1].total();
+    assert!(
+        fast_delivered > 5 * slow_delivered.max(1),
+        "fast replica should dominate deliveries before completion: {fast_delivered} vs {slow_delivered}"
+    );
+}

@@ -1,0 +1,128 @@
+//! Feedback / fast-forward end to end (paper Section V-D): correctness is
+//! preserved while work is skipped.
+
+use lmerge::core::{LMergeR3, LogicalMerge};
+use lmerge::engine::ops::{IntervalCount, UdfSelect};
+use lmerge::engine::{MergeRun, Operator, Query, RunConfig, TimedElement};
+use lmerge::gen::batched::{generate_batched, BatchedConfig};
+use lmerge::temporal::{VTime, Value};
+
+fn cfg(events: usize) -> BatchedConfig {
+    BatchedConfig {
+        num_events: events,
+        min_batch: events / 10,
+        max_batch: events / 8,
+        event_duration_ms: (events / 100).max(50) as i64,
+        stable_every: (events / 100).max(50),
+        ..Default::default()
+    }
+}
+
+fn udf_queries(c: &BatchedConfig) -> Vec<Query<Value>> {
+    let (elems, _) = generate_batched(c);
+    let source: Vec<TimedElement<Value>> = elems
+        .into_iter()
+        .map(|e| TimedElement::new(VTime::ZERO, e))
+        .collect();
+    vec![
+        Query::new(
+            source.clone(),
+            vec![Box::new(UdfSelect::udf0(200, 400, 10)) as Box<dyn Operator<Value>>],
+        )
+        .with_base_cost(0),
+        Query::new(
+            source,
+            vec![Box::new(UdfSelect::udf1(200, 400, 10)) as Box<dyn Operator<Value>>],
+        )
+        .with_base_cost(0),
+    ]
+}
+
+/// Feedback speeds up completion without changing the merged result.
+#[test]
+fn feedback_preserves_output_counts() {
+    let c = cfg(10_000);
+    let run = |feedback: bool| {
+        MergeRun::new(
+            udf_queries(&c),
+            Box::new(LMergeR3::<Value>::new(2)),
+            RunConfig {
+                feedback,
+                ..Default::default()
+            },
+        )
+        .run()
+    };
+    let plain = run(false);
+    let fed = run(true);
+    assert!(plain.output_complete_at.is_some());
+    assert!(fed.output_complete_at.is_some());
+    // Same number of logical events reach the output either way: feedback
+    // only skips elements that were already settled.
+    assert_eq!(plain.merge.inserts_out, fed.merge.inserts_out);
+    // And it is faster.
+    assert!(
+        fed.completion() < plain.completion(),
+        "feedback: {} vs {}",
+        fed.completion(),
+        plain.completion()
+    );
+}
+
+/// Feedback signals propagate through operator chains: a stateful operator
+/// downstream of the UDF purges its frozen state on feedback.
+#[test]
+fn feedback_propagates_through_chains() {
+    let c = cfg(4_000);
+    let (elems, _) = generate_batched(&c);
+    let source: Vec<TimedElement<Value>> = elems
+        .into_iter()
+        .map(|e| TimedElement::new(VTime::ZERO, e))
+        .collect();
+    let queries = vec![
+        Query::new(
+            source.clone(),
+            vec![
+                Box::new(UdfSelect::udf0(200, 400, 10)) as Box<dyn Operator<Value>>,
+                Box::new(IntervalCount::new(2)) as Box<dyn Operator<Value>>,
+            ],
+        )
+        .with_base_cost(0),
+        Query::new(
+            source,
+            vec![
+                Box::new(UdfSelect::udf1(200, 400, 10)) as Box<dyn Operator<Value>>,
+                Box::new(IntervalCount::new(2)) as Box<dyn Operator<Value>>,
+            ],
+        )
+        .with_base_cost(0),
+    ];
+    let metrics = MergeRun::new(
+        queries,
+        Box::new(LMergeR3::<Value>::new(2)),
+        RunConfig {
+            feedback: true,
+            ..Default::default()
+        },
+    )
+    .run();
+    assert!(metrics.output_complete_at.is_some());
+    assert!(metrics.merge.inserts_out > 0);
+}
+
+/// The feedback point never regresses and never exceeds the stable point.
+#[test]
+fn feedback_point_is_monotone() {
+    use lmerge::temporal::{Element, StreamId, Time};
+    let mut lm: LMergeR3<&str> = LMergeR3::new(2);
+    let mut out = Vec::new();
+    let mut last = Time::MIN;
+    for t in [5i64, 12, 12, 30] {
+        lm.push(StreamId(0), &Element::insert("x", t, t + 100), &mut out);
+        lm.push(StreamId(0), &Element::stable(t), &mut out);
+        let fp = lm.feedback_point();
+        assert!(fp >= last, "feedback point regressed");
+        assert!(fp <= lm.max_stable());
+        last = fp;
+    }
+}

@@ -1,0 +1,226 @@
+//! The paper's worked examples, end to end through the public API.
+
+use lmerge::core::{InsertPolicy, LMergeR3, LogicalMerge, MergePolicy};
+use lmerge::temporal::amf::{to_streaminsight as amf_to_si, Amf};
+use lmerge::temporal::compat::{check_r3, StreamView};
+use lmerge::temporal::openclose::{has_single_close, is_time_ordered, OpenClose};
+use lmerge::temporal::reconstitute::{equivalent, tdb_of};
+use lmerge::temporal::{Element, Event, StreamId, Tdb, Time};
+
+/// Table I: Phy1 and Phy2 (a/m/f model) reconstitute to the same TDB, and
+/// LMerge over them reproduces exactly that TDB.
+#[test]
+fn table1_phy1_phy2_merge() {
+    let phy1: Vec<Amf<&str>> = vec![
+        Amf::a("B", 8, Time::INFINITY),
+        Amf::a("A", 6, 12),
+        Amf::m("B", 8, 10),
+        Amf::f(11),
+        Amf::f(Time::INFINITY),
+    ];
+    let phy2: Vec<Amf<&str>> = vec![
+        Amf::a("A", 6, 7),
+        Amf::a("B", 8, 15),
+        Amf::m("A", 6, 12),
+        Amf::m("B", 8, 10),
+        Amf::f(Time::INFINITY),
+    ];
+    let s1 = amf_to_si(&phy1).unwrap();
+    let s2 = amf_to_si(&phy2).unwrap();
+    assert!(equivalent(&s1, &s2), "Table I: logically identical");
+
+    let mut lm: LMergeR3<&str> = LMergeR3::new(2);
+    let mut out = Vec::new();
+    for k in 0..s1.len().max(s2.len()) {
+        if let Some(e) = s1.get(k) {
+            lm.push(StreamId(0), e, &mut out);
+        }
+        if let Some(e) = s2.get(k) {
+            lm.push(StreamId(1), e, &mut out);
+        }
+    }
+    let expected: Tdb<&str> = [Event::new("A", 6, 12), Event::new("B", 8, 10)]
+        .into_iter()
+        .collect();
+    assert_eq!(tdb_of(&out).unwrap(), expected);
+}
+
+/// Section I-B-2: the punctuation trap. After propagating input 2's view of
+/// A and B, stable(11) from input 1 must NOT freeze the output into a state
+/// it cannot correct — LMerge first emits the corrective adjusts.
+#[test]
+fn punctuation_is_held_consistent() {
+    let mut lm: LMergeR3<&str> = LMergeR3::new(2);
+    let mut out = Vec::new();
+    // From Phy2: a(A, 6, 7) and a(B, 8, 15).
+    lm.push(StreamId(1), &Element::insert("A", 6, 7), &mut out);
+    lm.push(StreamId(1), &Element::insert("B", 8, 15), &mut out);
+    // Input 1 (Phy1's view): A actually runs to 12, B to 10.
+    lm.push(StreamId(0), &Element::insert("A", 6, 12), &mut out);
+    lm.push(
+        StreamId(0),
+        &Element::insert("B", 8, Time::INFINITY),
+        &mut out,
+    );
+    lm.push(
+        StreamId(0),
+        &Element::adjust("B", 8, Time::INFINITY, Time(10)),
+        &mut out,
+    );
+    // The dangerous element: f(11) ≡ stable(11) from input 0.
+    lm.push(StreamId(0), &Element::stable(11), &mut out);
+    // The output must still reconstitute (no frozen contradiction) …
+    let tdb = tdb_of(&out).expect("output must stay well formed");
+    // … with A adjustable to 12 (already done) and B already at 10.
+    assert_eq!(tdb.count(&"A", Time(6), Time(12)), 1);
+    assert_eq!(tdb.count(&"B", Time(8), Time(10)), 1);
+}
+
+/// Example 3: the three open/close prefixes are equivalent and their
+/// property profiles match the paper's claims.
+#[test]
+fn example3_openclose_properties() {
+    type Oc = OpenClose<&'static str>;
+    let s5 = vec![
+        Oc::open("A", 1),
+        Oc::open("B", 2),
+        Oc::open("C", 3),
+        Oc::close("A", 4),
+        Oc::close("B", 5),
+    ];
+    let u5 = vec![
+        Oc::open("A", 1),
+        Oc::close("A", 4),
+        Oc::open("B", 2),
+        Oc::close("B", 5),
+        Oc::open("C", 3),
+    ];
+    let w6 = vec![
+        Oc::open("B", 2),
+        Oc::close("B", 6),
+        Oc::open("A", 1),
+        Oc::open("C", 3),
+        Oc::close("A", 4),
+        Oc::close("B", 5),
+    ];
+    assert!(is_time_ordered(&s5) && !is_time_ordered(&u5) && !is_time_ordered(&w6));
+    assert!(has_single_close(&s5) && has_single_close(&u5) && !has_single_close(&w6));
+    let tdbs: Vec<_> = [&s5, &u5, &w6]
+        .iter()
+        .map(|s| tdb_of(&lmerge::temporal::openclose::to_streaminsight(s).unwrap()).unwrap())
+        .collect();
+    assert_eq!(tdbs[0], tdbs[1]);
+    assert_eq!(tdbs[1], tdbs[2]);
+}
+
+/// Example 5: the adjust chain insert(A,6,20), adjust(→30), adjust(→25) is
+/// equivalent to the single element insert(A,6,25).
+#[test]
+fn example5_adjust_chain() {
+    let chain: Vec<Element<&str>> = vec![
+        Element::insert("A", 6, 20),
+        Element::adjust("A", 6, 20, 30),
+        Element::adjust("A", 6, 30, 25),
+    ];
+    let single: Vec<Element<&str>> = vec![Element::insert("A", 6, 25)];
+    assert!(equivalent(&chain, &single));
+}
+
+/// Section III-D: O1 and O2 are compatible with I1/I2; O3 is not.
+#[test]
+fn compatibility_examples() {
+    let tdb = |evs: &[(&'static str, i64, i64)]| -> Tdb<&'static str> {
+        evs.iter()
+            .map(|(p, vs, ve)| {
+                Event::new(*p, *vs, if *ve < 0 { Time::INFINITY } else { Time(*ve) })
+            })
+            .collect()
+    };
+    let i1 = tdb(&[("A", 2, 16), ("B", 3, 10), ("C", 4, 18), ("D", 15, 20)]);
+    let i2 = tdb(&[("A", 2, 12), ("B", 3, 10), ("C", 4, 18), ("E", 17, 21)]);
+    let inputs = [
+        StreamView::new(&i1, Time(14)),
+        StreamView::new(&i2, Time(11)),
+    ];
+
+    let o1 = tdb(&[("A", 2, -1), ("B", 3, 10), ("C", 4, -1)]);
+    assert!(check_r3(&inputs, &StreamView::new(&o1, Time(11))).is_ok());
+
+    let o2 = tdb(&[
+        ("A", 2, 16),
+        ("B", 3, 10),
+        ("C", 4, 18),
+        ("D", 15, 20),
+        ("E", 17, 21),
+    ]);
+    assert!(check_r3(&inputs, &StreamView::new(&o2, Time(14))).is_ok());
+
+    let o3 = tdb(&[("A", 2, 12), ("C", 4, 18), ("D", 15, 20)]);
+    assert!(check_r3(&inputs, &StreamView::new(&o3, Time(13))).is_err());
+}
+
+/// Table II / Section V-A: the policy spectrum from aggressive to
+/// conservative. All policies converge to the same TDB; the aggressive end
+/// answers earlier and chattier, the conservative end later and terser.
+#[test]
+fn table2_policy_spectrum() {
+    let feed = |lm: &mut LMergeR3<&'static str>| -> Vec<Element<&'static str>> {
+        let mut out = Vec::new();
+        // The shape of Table II: A seen with diverging provisional ends on
+        // the two inputs, revised, then B, then finalization.
+        lm.push(StreamId(0), &Element::insert("A", 6, 10), &mut out);
+        lm.push(StreamId(1), &Element::insert("A", 6, 12), &mut out);
+        lm.push(StreamId(0), &Element::adjust("A", 6, 10, 12), &mut out);
+        lm.push(StreamId(0), &Element::insert("B", 7, 14), &mut out);
+        lm.push(StreamId(1), &Element::insert("B", 7, 14), &mut out);
+        lm.push(StreamId(0), &Element::adjust("A", 6, 12, 15), &mut out);
+        lm.push(StreamId(1), &Element::adjust("A", 6, 12, 15), &mut out);
+        lm.push(StreamId(0), &Element::stable(16), &mut out);
+        out
+    };
+
+    let mut eager = LMergeR3::with_policy(2, MergePolicy::eager());
+    let out1 = feed(&mut eager);
+    let mut default = LMergeR3::new(2);
+    let out3 = feed(&mut default);
+    let mut conservative = LMergeR3::with_policy(2, MergePolicy::conservative());
+    let out2 = feed(&mut conservative);
+
+    // All three reconstitute identically.
+    let t1 = tdb_of(&out1).unwrap();
+    let t2 = tdb_of(&out2).unwrap();
+    let t3 = tdb_of(&out3).unwrap();
+    assert_eq!(t1, t2);
+    assert_eq!(t2, t3);
+    assert_eq!(t1.count(&"A", Time(6), Time(15)), 1);
+    assert_eq!(t1.count(&"B", Time(7), Time(14)), 1);
+
+    // Out1 (aggressive) produces the most elements, Out2 (conservative) the
+    // fewest; Out3 sits between — exactly Table II's ordering.
+    assert!(out1.len() >= out3.len(), "{} vs {}", out1.len(), out3.len());
+    assert!(out3.len() >= out2.len(), "{} vs {}", out3.len(), out2.len());
+
+    // Out2 delays: nothing before the stable; Out1/Out3 answer immediately.
+    assert!(out2[..out2.len() - 1]
+        .iter()
+        .all(|e| !e.is_insert() || out2.len() <= 3));
+    assert!(out3.first().is_some_and(Element::is_insert));
+}
+
+/// The hybrid quorum policy of Section V-A: output only after a fraction of
+/// inputs agree.
+#[test]
+fn quorum_policy_waits_for_fraction() {
+    let mut lm = LMergeR3::with_policy(
+        3,
+        MergePolicy {
+            insert: InsertPolicy::Quorum(2),
+            ..Default::default()
+        },
+    );
+    let mut out = Vec::new();
+    lm.push(StreamId(0), &Element::insert("X", 1, 9), &mut out);
+    assert!(out.is_empty(), "one of three is not a quorum");
+    lm.push(StreamId(2), &Element::insert("X", 1, 9), &mut out);
+    assert_eq!(out.len(), 1, "two of three is");
+}

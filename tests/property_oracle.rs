@@ -1,0 +1,175 @@
+//! Property-based tests: random mutually consistent inputs, every output
+//! prefix checked against the paper's compatibility oracle.
+
+use lmerge::core::{LMergeR3, LMergeR4, LogicalMerge};
+use lmerge::gen::{diverge, generate, DivergenceConfig, GenConfig};
+use lmerge::temporal::compat::{check_r3, check_r4, StreamView};
+use lmerge::temporal::consistency::consistent_with_reference;
+use lmerge::temporal::reconstitute::{tdb_of, Reconstituter};
+use lmerge::temporal::{Element, StreamId, Value};
+use proptest::prelude::*;
+
+/// Build divergent copies from proptest-chosen knobs.
+fn copies_for(
+    events: usize,
+    seed: u64,
+    disorder: f64,
+    revision_prob: f64,
+    n: usize,
+) -> (Vec<Vec<Element<Value>>>, lmerge::temporal::Tdb<Value>) {
+    let cfg = GenConfig::small(events, seed).with_disorder(disorder);
+    let r = generate(&cfg);
+    let div = DivergenceConfig {
+        revision_prob,
+        seed: seed.wrapping_mul(31),
+        ..Default::default()
+    };
+    let copies = (0..n)
+        .map(|i| diverge(&r.elements, &div, i as u64))
+        .collect();
+    (copies, r.tdb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated copies are each well formed and consistent with the
+    /// reference at every punctuation point.
+    #[test]
+    fn generated_copies_are_mutually_consistent(
+        seed in 0u64..1000,
+        disorder in 0.0f64..0.5,
+        revision in 0.0f64..0.5,
+    ) {
+        let (copies, reference) = copies_for(60, seed, disorder, revision, 3);
+        for copy in &copies {
+            let mut rec: Reconstituter<Value> = Reconstituter::new();
+            for e in copy {
+                rec.apply(e).expect("copy well formed");
+                if e.is_stable() {
+                    consistent_with_reference(
+                        StreamView::new(rec.tdb(), rec.stable()),
+                        &reference,
+                    )
+                    .expect("prefix consistent with reference");
+                }
+            }
+            prop_assert_eq!(rec.tdb(), &reference);
+        }
+    }
+
+    /// R3 merge: the final output equals the reference, every output prefix
+    /// satisfies C1–C3 at punctuation points, and Theorem 1 holds.
+    #[test]
+    fn r3_output_is_compatible_at_every_stable(
+        seed in 0u64..1000,
+        disorder in 0.0f64..0.5,
+        revision in 0.0f64..0.5,
+    ) {
+        let (copies, reference) = copies_for(50, seed, disorder, revision, 2);
+        let mut lm: LMergeR3<Value> = LMergeR3::new(2);
+        let mut out = Vec::new();
+        let mut input_recs: Vec<Reconstituter<Value>> =
+            (0..2).map(|_| Reconstituter::new()).collect();
+        let mut out_rec: Reconstituter<Value> = Reconstituter::new();
+        let mut emitted_upto = 0usize;
+
+        let longest = copies.iter().map(Vec::len).max().unwrap();
+        for k in 0..longest {
+            for (i, c) in copies.iter().enumerate() {
+                let Some(e) = c.get(k) else { continue };
+                input_recs[i].apply(e).expect("input well formed");
+                lm.push(StreamId(i as u32), e, &mut out);
+                for oe in &out[emitted_upto..] {
+                    out_rec.apply(oe).expect("output must stay well formed");
+                }
+                emitted_upto = out.len();
+                if e.is_stable() {
+                    let views: Vec<StreamView<Value>> = input_recs
+                        .iter()
+                        .map(|r| StreamView::new(r.tdb(), r.stable()))
+                        .collect();
+                    check_r3(&views, &StreamView::new(out_rec.tdb(), out_rec.stable()))
+                        .expect("output prefix compatible (C1–C3)");
+                }
+            }
+        }
+        prop_assert_eq!(out_rec.tdb(), &reference);
+        prop_assert!(lm.stats().satisfies_theorem1());
+    }
+
+    /// R4 merge under the tracking policy satisfies the multiset conditions.
+    #[test]
+    fn r4_output_is_compatible_at_every_stable(
+        seed in 0u64..1000,
+        disorder in 0.0f64..0.4,
+        revision in 0.0f64..0.4,
+    ) {
+        let (copies, reference) = copies_for(40, seed, disorder, revision, 2);
+        let mut lm: LMergeR4<Value> = LMergeR4::new(2);
+        let mut out = Vec::new();
+        let mut input_recs: Vec<Reconstituter<Value>> =
+            (0..2).map(|_| Reconstituter::new()).collect();
+        let mut out_rec: Reconstituter<Value> = Reconstituter::new();
+        let mut emitted_upto = 0usize;
+
+        let longest = copies.iter().map(Vec::len).max().unwrap();
+        for k in 0..longest {
+            for (i, c) in copies.iter().enumerate() {
+                let Some(e) = c.get(k) else { continue };
+                input_recs[i].apply(e).expect("input well formed");
+                lm.push(StreamId(i as u32), e, &mut out);
+                for oe in &out[emitted_upto..] {
+                    out_rec.apply(oe).expect("output must stay well formed");
+                }
+                emitted_upto = out.len();
+                if e.is_stable() {
+                    let views: Vec<StreamView<Value>> = input_recs
+                        .iter()
+                        .map(|r| StreamView::new(r.tdb(), r.stable()))
+                        .collect();
+                    check_r4(&views, &StreamView::new(out_rec.tdb(), out_rec.stable()))
+                        .expect("output prefix compatible (R4 tracking)");
+                }
+            }
+        }
+        prop_assert_eq!(out_rec.tdb(), &reference);
+    }
+
+    /// The count sub-query over any two divergent copies yields mutually
+    /// consistent R3 inputs: merging them reproduces one copy's final TDB.
+    #[test]
+    fn count_subquery_outputs_merge_cleanly(
+        seed in 0u64..500,
+        disorder in 0.0f64..0.5,
+    ) {
+        use lmerge::engine::ops::IntervalCount;
+        use lmerge::engine::Operator;
+        let (copies, _) = copies_for(60, seed, disorder, 0.0, 2);
+        let subs: Vec<Vec<Element<Value>>> = copies
+            .iter()
+            .map(|c| {
+                let mut agg = IntervalCount::new(3);
+                let mut out = Vec::new();
+                for e in c {
+                    agg.on_element(e, &mut out);
+                }
+                out
+            })
+            .collect();
+        let want = tdb_of(&subs[0]).expect("sub-query output well formed");
+        prop_assert_eq!(&tdb_of(&subs[1]).unwrap(), &want);
+
+        let mut lm: LMergeR3<Value> = LMergeR3::new(2);
+        let mut out = Vec::new();
+        let longest = subs.iter().map(Vec::len).max().unwrap();
+        for k in 0..longest {
+            for (i, c) in subs.iter().enumerate() {
+                if let Some(e) = c.get(k) {
+                    lm.push(StreamId(i as u32), e, &mut out);
+                }
+            }
+        }
+        prop_assert_eq!(&tdb_of(&out).unwrap(), &want);
+    }
+}

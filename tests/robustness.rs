@@ -1,0 +1,118 @@
+//! Adversarial robustness: the general mergers must never panic and never
+//! emit an ill-formed output stream, even when the inputs violate every
+//! contract they have (mutual consistency, punctuation discipline, adjust
+//! chains). Garbage in → clean (possibly wrong) stream out.
+
+use lmerge::core::{LMergeR3, LMergeR4, LogicalMerge, MergePolicy};
+use lmerge::temporal::reconstitute::Reconstituter;
+use lmerge::temporal::{Element, StreamId, Time};
+use proptest::prelude::*;
+
+/// An arbitrary element over a tiny payload/time domain, so collisions,
+/// stale adjusts, and punctuation violations are all common.
+fn arb_element() -> impl Strategy<Value = Element<&'static str>> {
+    let payloads = prop::sample::select(vec!["a", "b", "c"]);
+    let times = 0i64..20;
+    prop_oneof![
+        (payloads.clone(), times.clone(), times.clone()).prop_map(|(p, vs, d)| {
+            Element::insert(p, vs, vs + d.max(0) + 1)
+        }),
+        (payloads, times.clone(), times.clone(), times.clone()).prop_map(
+            |(p, vs, vold, ve)| Element::adjust(p, vs, vs + vold, vs + ve)
+        ),
+        times.prop_map(Element::stable),
+        Just(Element::stable(Time::INFINITY)),
+    ]
+}
+
+fn arb_feed() -> impl Strategy<Value = Vec<(u8, Element<&'static str>)>> {
+    prop::collection::vec((0u8..3, arb_element()), 0..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// R3 under the default policy: garbage in, well-formed stream out.
+    #[test]
+    fn r3_never_emits_ill_formed_output(feed in arb_feed()) {
+        let mut lm: LMergeR3<&str> = LMergeR3::new(3);
+        let mut out = Vec::new();
+        let mut rec: Reconstituter<&str> = Reconstituter::new();
+        let mut consumed = 0usize;
+        for (s, e) in &feed {
+            lm.push(StreamId(u32::from(*s)), e, &mut out);
+            for oe in &out[consumed..] {
+                rec.apply(oe).expect("output must stay well formed");
+            }
+            consumed = out.len();
+        }
+    }
+
+    /// Same under the eager-adjust policy (the chattier code path).
+    #[test]
+    fn r3_eager_never_emits_ill_formed_output(feed in arb_feed()) {
+        let mut lm: LMergeR3<&str> = LMergeR3::with_policy(3, MergePolicy::eager());
+        let mut out = Vec::new();
+        let mut rec: Reconstituter<&str> = Reconstituter::new();
+        let mut consumed = 0usize;
+        for (s, e) in &feed {
+            lm.push(StreamId(u32::from(*s)), e, &mut out);
+            for oe in &out[consumed..] {
+                rec.apply(oe).expect("output must stay well formed");
+            }
+            consumed = out.len();
+        }
+    }
+
+    /// Same under the conservative policy (deferred-emission code path).
+    #[test]
+    fn r3_conservative_never_emits_ill_formed_output(feed in arb_feed()) {
+        let mut lm: LMergeR3<&str> = LMergeR3::with_policy(3, MergePolicy::conservative());
+        let mut out = Vec::new();
+        let mut rec: Reconstituter<&str> = Reconstituter::new();
+        let mut consumed = 0usize;
+        for (s, e) in &feed {
+            lm.push(StreamId(u32::from(*s)), e, &mut out);
+            for oe in &out[consumed..] {
+                rec.apply(oe).expect("output must stay well formed");
+            }
+            consumed = out.len();
+        }
+    }
+
+    /// R4 (multiset machinery): garbage in, well-formed stream out.
+    #[test]
+    fn r4_never_emits_ill_formed_output(feed in arb_feed()) {
+        let mut lm: LMergeR4<&str> = LMergeR4::new(3);
+        let mut out = Vec::new();
+        let mut rec: Reconstituter<&str> = Reconstituter::new();
+        let mut consumed = 0usize;
+        for (s, e) in &feed {
+            lm.push(StreamId(u32::from(*s)), e, &mut out);
+            for oe in &out[consumed..] {
+                rec.apply(oe).expect("output must stay well formed");
+            }
+            consumed = out.len();
+        }
+    }
+
+    /// Attach/detach churn mid-garbage never corrupts the output either.
+    #[test]
+    fn churn_under_garbage(feed in arb_feed(), churn_at in 0usize..100) {
+        let mut lm: LMergeR3<&str> = LMergeR3::new(2);
+        let mut out = Vec::new();
+        let mut rec: Reconstituter<&str> = Reconstituter::new();
+        let mut consumed = 0usize;
+        for (i, (s, e)) in feed.iter().enumerate() {
+            if i == churn_at {
+                lm.detach(StreamId(0));
+                let _ = lm.attach(Time(5));
+            }
+            lm.push(StreamId(u32::from(*s % 2)), e, &mut out);
+            for oe in &out[consumed..] {
+                rec.apply(oe).expect("output must stay well formed");
+            }
+            consumed = out.len();
+        }
+    }
+}
