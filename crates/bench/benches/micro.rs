@@ -1,17 +1,35 @@
-//! Criterion micro-benchmarks: per-element operator costs.
+//! Micro-benchmarks: per-element operator costs.
 //!
 //! These complement the figure harness (which measures end-to-end shapes)
-//! with statistically solid per-element numbers: insert cost per LMerge
-//! variant, stable-processing cost, and reconstitution overhead. Kept short
-//! so `cargo bench --workspace` completes in a couple of minutes.
+//! with per-element numbers: insert cost per LMerge variant,
+//! adjust-heavy revision cost, stable-processing cost, and reconstitution
+//! overhead. A plain timing harness (best-of-N over a few repeats) keeps
+//! the workspace free of external benchmark frameworks; run with
+//! `cargo bench -p lmerge-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use lmerge_bench::{variants, VariantKind};
 use lmerge_gen::{generate, GenConfig};
 use lmerge_temporal::reconstitute::Reconstituter;
 use lmerge_temporal::{Element, StreamId, Value};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_inserts(c: &mut Criterion) {
+/// Run `f` a few times and report the best per-element cost in ns.
+fn time_per_element(label: &str, elements: usize, mut f: impl FnMut() -> u64) {
+    const REPEATS: usize = 5;
+    let mut best = f64::INFINITY;
+    let mut sink = 0u64;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        sink = sink.wrapping_add(f());
+        let ns = start.elapsed().as_nanos() as f64 / elements as f64;
+        best = best.min(ns);
+    }
+    black_box(sink);
+    println!("{label:<44} {best:>9.1} ns/element");
+}
+
+fn bench_inserts() {
     let cfg = GenConfig {
         num_events: 10_000,
         disorder: 0.0,
@@ -24,25 +42,21 @@ fn bench_inserts(c: &mut Criterion) {
     };
     let stream = generate(&cfg).elements;
 
-    let mut group = c.benchmark_group("merge_10k_ordered_elements");
-    group.sample_size(20);
+    println!("\n== merge_10k_ordered_elements ==");
     for v in variants() {
-        group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, v| {
-            b.iter(|| {
-                let mut lm = v.build(2);
-                let mut out = Vec::new();
-                for e in &stream {
-                    lm.push(StreamId(0), black_box(e), &mut out);
-                    out.clear();
-                }
-                lm.stats().inserts_out
-            });
+        time_per_element(v.label(), stream.len(), || {
+            let mut lm = v.build(2);
+            let mut out = Vec::new();
+            for e in &stream {
+                lm.push(StreamId(0), black_box(e), &mut out);
+                out.clear();
+            }
+            lm.stats().inserts_out
         });
     }
-    group.finish();
 }
 
-fn bench_adjust_heavy(c: &mut Criterion) {
+fn bench_adjust_heavy() {
     // Insert + two adjusts per event: the revision-heavy R3/R4 regime.
     let mut elems: Vec<Element<Value>> = Vec::new();
     for i in 0..5_000i64 {
@@ -54,50 +68,42 @@ fn bench_adjust_heavy(c: &mut Criterion) {
             elems.push(Element::stable(i - 100));
         }
     }
-    let mut group = c.benchmark_group("merge_adjust_heavy");
-    group.sample_size(20);
+    println!("\n== merge_adjust_heavy ==");
     for v in [VariantKind::R3Plus, VariantKind::R3Minus, VariantKind::R4] {
-        group.bench_with_input(BenchmarkId::from_parameter(v.label()), &v, |b, v| {
-            b.iter(|| {
-                let mut lm = v.build(1);
-                let mut out = Vec::new();
-                for e in &elems {
-                    lm.push(StreamId(0), black_box(e), &mut out);
-                    out.clear();
-                }
-                lm.stats().adjusts_out
-            });
+        time_per_element(v.label(), elems.len(), || {
+            let mut lm = v.build(1);
+            let mut out = Vec::new();
+            for e in &elems {
+                lm.push(StreamId(0), black_box(e), &mut out);
+                out.clear();
+            }
+            lm.stats().adjusts_out
         });
     }
-    group.finish();
 }
 
-fn bench_stable_processing(c: &mut Criterion) {
+fn bench_stable_processing() {
     // Cost of one stable() over a populated in2t index.
-    let mut group = c.benchmark_group("r3_stable_over_live_index");
-    group.sample_size(20);
+    println!("\n== r3_stable_over_live_index ==");
     for w in [1_000usize, 10_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, w| {
-            b.iter(|| {
-                let mut lm = VariantKind::R3Plus.build(1);
-                let mut out = Vec::new();
-                for i in 0..*w as i64 {
-                    lm.push(
-                        StreamId(0),
-                        &Element::insert(Value::bare(i as i32), i, i + 5),
-                        &mut out,
-                    );
-                    out.clear();
-                }
-                lm.push(StreamId(0), &Element::stable(2 * *w as i64), &mut out);
-                out.len()
-            });
+        time_per_element(&format!("w={w}"), w, || {
+            let mut lm = VariantKind::R3Plus.build(1);
+            let mut out = Vec::new();
+            for i in 0..w as i64 {
+                lm.push(
+                    StreamId(0),
+                    &Element::insert(Value::bare(i as i32), i, i + 5),
+                    &mut out,
+                );
+                out.clear();
+            }
+            lm.push(StreamId(0), &Element::stable(2 * w as i64), &mut out);
+            out.len() as u64
         });
     }
-    group.finish();
 }
 
-fn bench_reconstitution(c: &mut Criterion) {
+fn bench_reconstitution() {
     let cfg = GenConfig {
         num_events: 10_000,
         payload_len: 100,
@@ -105,25 +111,19 @@ fn bench_reconstitution(c: &mut Criterion) {
         ..Default::default()
     };
     let stream = generate(&cfg).elements;
-    let mut group = c.benchmark_group("reconstitute_10k");
-    group.sample_size(20);
-    group.bench_function("tdb", |b| {
-        b.iter(|| {
-            let mut r: Reconstituter<Value> = Reconstituter::new();
-            for e in &stream {
-                r.apply(black_box(e)).unwrap();
-            }
-            r.tdb().len()
-        });
+    println!("\n== reconstitute_10k ==");
+    time_per_element("tdb", stream.len(), || {
+        let mut r: Reconstituter<Value> = Reconstituter::new();
+        for e in &stream {
+            r.apply(black_box(e)).unwrap();
+        }
+        r.tdb().len() as u64
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_inserts,
-    bench_adjust_heavy,
-    bench_stable_processing,
-    bench_reconstitution
-);
-criterion_main!(benches);
+fn main() {
+    bench_inserts();
+    bench_adjust_heavy();
+    bench_stable_processing();
+    bench_reconstitution();
+}

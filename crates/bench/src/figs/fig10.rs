@@ -9,6 +9,7 @@
 //! around 34 seconds, and is nearly 5X faster than LMR3+ without
 //! feedback."
 
+use crate::report::MetricsRecord;
 use crate::{scale_events, Report, VariantKind};
 use lmerge_engine::executor::run_single;
 use lmerge_engine::ops::UdfSelect;
@@ -32,6 +33,10 @@ pub struct Fig10 {
     pub feedback_s: f64,
     /// Elements skipped by feedback across both plans.
     pub skipped: u64,
+    /// Headline record of the no-feedback merge.
+    pub lmerge_rec: MetricsRecord,
+    /// Headline record of the feedback merge.
+    pub feedback_rec: MetricsRecord,
 }
 
 fn source(cfg: &BatchedConfig) -> Vec<TimedElement<Value>> {
@@ -72,7 +77,7 @@ pub fn run(events: usize) -> Fig10 {
 
     let run_merged = |feedback: bool| {
         let queries = vec![udf_query(&cfg, true), udf_query(&cfg, false)];
-        let metrics = MergeRun::new(
+        MergeRun::new(
             queries,
             VariantKind::R3Plus.build(2),
             RunConfig {
@@ -80,19 +85,20 @@ pub fn run(events: usize) -> Fig10 {
                 ..Default::default()
             },
         )
-        .run();
-        metrics.completion().as_secs_f64()
+        .run()
     };
 
-    let lmerge_s = run_merged(false);
-    let feedback_s = run_merged(true);
+    let lmerge = run_merged(false);
+    let with_feedback = run_merged(true);
 
     Fig10 {
         udf0_s: end0.as_secs_f64(),
         udf1_s: end1.as_secs_f64(),
-        lmerge_s,
-        feedback_s,
+        lmerge_s: lmerge.completion().as_secs_f64(),
+        feedback_s: with_feedback.completion().as_secs_f64(),
         skipped: 0, // skipped counts live inside the consumed queries
+        lmerge_rec: MetricsRecord::from_run(&lmerge),
+        feedback_rec: MetricsRecord::from_run(&with_feedback),
     }
 }
 
@@ -122,6 +128,8 @@ pub fn report() -> Report {
         "{events} elements, alternating low/high-key batches, 9±. plan switches"
     ));
     report.note("expected: LMR3+ ≈ min(UDF0, UDF1); LM+Feedback several times faster");
+    report.metric("LMR3+ (no feedback)", r.lmerge_rec);
+    report.metric("LM+Feedback", r.feedback_rec);
     report
 }
 

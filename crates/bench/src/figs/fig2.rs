@@ -5,7 +5,7 @@
 //! but almost independent of the number of inputs (payloads shared across
 //! inputs); LMR3− much higher and degrading linearly with inputs.
 
-use crate::report::fmt_bytes;
+use crate::report::{fmt_bytes, MetricsRecord};
 use crate::{drive_wallclock, scale_events, variants, Report};
 use lmerge_gen::timing::add_lag;
 use lmerge_gen::{assign_times, generate, GenConfig};
@@ -14,6 +14,8 @@ use lmerge_gen::{assign_times, generate, GenConfig};
 pub struct Fig2 {
     /// `(inputs, [bytes per variant])` in variant order.
     pub rows: Vec<(usize, Vec<usize>)>,
+    /// Headline record per `(variant, inputs)` point, for `BENCH_fig2.json`.
+    pub metrics: Vec<(String, MetricsRecord)>,
 }
 
 /// The workload shared by Figures 2 and 3: ordered, insert-only streams.
@@ -35,6 +37,7 @@ pub fn ordered_workload(events: usize) -> GenConfig {
 pub fn run(events: usize) -> Fig2 {
     let reference = generate(&ordered_workload(events));
     let mut rows = Vec::new();
+    let mut metrics = Vec::new();
     for n in [2usize, 4, 6, 8, 10] {
         // Identical ordered copies, each lagging 2 ms more than the last —
         // close enough that every copy overlaps the live window.
@@ -50,10 +53,14 @@ pub fn run(events: usize) -> Fig2 {
             let mut lm = v.build(n);
             let run = drive_wallclock(lm.as_mut(), &timed);
             cells.push(run.peak_memory);
+            metrics.push((
+                format!("{}@{}in", v.label(), n),
+                MetricsRecord::from_wallclock(&run),
+            ));
         }
         rows.push((n, cells));
     }
-    Fig2 { rows }
+    Fig2 { rows, metrics }
 }
 
 /// Build the printable report.
@@ -74,6 +81,9 @@ pub fn report() -> Report {
         "{events} events/stream, disorder 0%, StableFreq 1%"
     ));
     report.note("expected: LMR0-2 flat+tiny; LMR3+ flat; LMR3- linear in inputs");
+    for (label, m) in &result.metrics {
+        report.metric(label.clone(), *m);
+    }
     report
 }
 

@@ -5,7 +5,7 @@
 //! multiple tree lookups over duplicated state).
 
 use crate::figs::fig2::ordered_workload;
-use crate::report::fmt_eps;
+use crate::report::{fmt_eps, MetricsRecord};
 use crate::{drive_wallclock, scale_events, variants, Report};
 use lmerge_gen::timing::add_lag;
 use lmerge_gen::{assign_times, generate};
@@ -14,6 +14,8 @@ use lmerge_gen::{assign_times, generate};
 pub struct Fig3 {
     /// `(inputs, [eps per variant])` in variant order.
     pub rows: Vec<(usize, Vec<f64>)>,
+    /// Headline record per `(variant, inputs)` point, for `BENCH_fig3.json`.
+    pub metrics: Vec<(String, MetricsRecord)>,
 }
 
 /// Run the sweep.
@@ -22,6 +24,7 @@ pub fn run(events: usize) -> Fig3 {
     cfg.payload_len = 100;
     let reference = generate(&cfg);
     let mut rows = Vec::new();
+    let mut metrics = Vec::new();
     for n in [2usize, 4, 6, 8, 10] {
         let timed: Vec<_> = (0..n)
             .map(|i| {
@@ -35,10 +38,14 @@ pub fn run(events: usize) -> Fig3 {
             let mut lm = v.build(n);
             let run = drive_wallclock(lm.as_mut(), &timed);
             cells.push(run.output_eps());
+            metrics.push((
+                format!("{}@{}in", v.label(), n),
+                MetricsRecord::from_wallclock(&run),
+            ));
         }
         rows.push((n, cells));
     }
-    Fig3 { rows }
+    Fig3 { rows, metrics }
 }
 
 /// Build the printable report.
@@ -57,6 +64,9 @@ pub fn report() -> Report {
     }
     report.note(format!("{events} events/stream"));
     report.note("expected: LMR0/1/2 >> LMR3+ > LMR4 > LMR3-");
+    for (label, m) in &result.metrics {
+        report.metric(label.clone(), *m);
+    }
     report
 }
 

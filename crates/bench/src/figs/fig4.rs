@@ -10,6 +10,7 @@
 //! paper's default (lazy) adjust policy and the eager alternative of
 //! Section V-A, to show the policy is what bounds the chattiness.
 
+use crate::report::MetricsRecord;
 use crate::{drive_wallclock, scale_events, Report};
 use lmerge_core::{LMergeR3, LogicalMerge, MergePolicy};
 use lmerge_engine::ops::IntervalCount;
@@ -44,6 +45,10 @@ pub struct Fig4Row {
     pub adjusts_lazy: u64,
     /// Adjusts LMerge emits under the eager adjust policy.
     pub adjusts_eager: u64,
+    /// Headline record of the lazy-policy merge run.
+    pub lazy: MetricsRecord,
+    /// Headline record of the eager-policy merge run.
+    pub eager: MetricsRecord,
 }
 
 /// Run the disorder sweep.
@@ -78,16 +83,20 @@ pub fn run(events: usize) -> Vec<Fig4Row> {
             .collect();
 
         let timed: Vec<_> = subs.iter().map(|s| assign_times(s, 50_000.0)).collect();
-        let merge_adjusts = |policy: MergePolicy| {
+        let merge = |policy: MergePolicy| {
             let mut lm: Box<dyn LogicalMerge<Value>> = Box::new(LMergeR3::with_policy(2, policy));
-            drive_wallclock(lm.as_mut(), &timed).stats.adjusts_out
+            MetricsRecord::from_wallclock(&drive_wallclock(lm.as_mut(), &timed))
         };
+        let lazy = merge(MergePolicy::paper_default());
+        let eager = merge(MergePolicy::eager());
         rows.push(Fig4Row {
             disorder,
             adjusts_no_lmerge,
             inserts_no_lmerge,
-            adjusts_lazy: merge_adjusts(MergePolicy::paper_default()),
-            adjusts_eager: merge_adjusts(MergePolicy::eager()),
+            adjusts_lazy: lazy.chattiness_adjusts,
+            adjusts_eager: eager.chattiness_adjusts,
+            lazy,
+            eager,
         });
     }
     rows
@@ -121,6 +130,11 @@ pub fn report() -> Report {
         "{events} source events, count sub-query, 2 inputs, LMR3+"
     ));
     report.note("expected: adjusts grow with disorder; lazy policy far less chatty than eager");
+    for r in &rows {
+        let pct = format!("{:.0}%", r.disorder * 100.0);
+        report.metric(format!("lazy@{pct}"), r.lazy);
+        report.metric(format!("eager@{pct}"), r.eager);
+    }
     report
 }
 

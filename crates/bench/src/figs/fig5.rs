@@ -6,6 +6,7 @@
 //! performance improves since it can directly drop tuples from the lagging
 //! streams. … throughput gains are higher if more streams are lagging."
 
+use crate::report::MetricsRecord;
 use crate::{drive_wallclock, scale_events, Report, VariantKind};
 use lmerge_gen::timing::add_lag;
 use lmerge_gen::{assign_times, diverge, generate, DivergenceConfig, GenConfig};
@@ -18,6 +19,10 @@ pub struct Fig5Row {
     pub eps_one_lagging: f64,
     /// Input-element throughput with two streams lagging.
     pub eps_two_lagging: f64,
+    /// Headline record of the one-lagging run.
+    pub rec_one: MetricsRecord,
+    /// Headline record of the two-lagging run.
+    pub rec_two: MetricsRecord,
 }
 
 fn workload(events: usize) -> GenConfig {
@@ -44,7 +49,7 @@ pub fn run(events: usize) -> Vec<Fig5Row> {
 
     let mut rows = Vec::new();
     for lag_s in [0u64, 1, 2, 3, 4, 5] {
-        let eps = |lagging: usize| {
+        let measure = |lagging: usize| {
             let timed: Vec<_> = copies
                 .iter()
                 .enumerate()
@@ -57,12 +62,15 @@ pub fn run(events: usize) -> Vec<Fig5Row> {
                 })
                 .collect();
             let mut lm = VariantKind::R3Plus.build(3);
-            drive_wallclock(lm.as_mut(), &timed).throughput_eps()
+            MetricsRecord::from_wallclock(&drive_wallclock(lm.as_mut(), &timed))
         };
+        let (rec_one, rec_two) = (measure(1), measure(2));
         rows.push(Fig5Row {
             lag_s,
-            eps_one_lagging: eps(1),
-            eps_two_lagging: eps(2),
+            eps_one_lagging: rec_one.throughput_eps,
+            eps_two_lagging: rec_two.throughput_eps,
+            rec_one,
+            rec_two,
         });
     }
     rows
@@ -88,6 +96,10 @@ pub fn report() -> Report {
         "{events} events/stream, StableFreq 0.1%, lifetime 40 s"
     ));
     report.note("expected: throughput rises with lag; higher with 2 streams lagging");
+    for r in &rows {
+        report.metric(format!("1lag@{}s", r.lag_s), r.rec_one);
+        report.metric(format!("2lag@{}s", r.lag_s), r.rec_two);
+    }
     report
 }
 

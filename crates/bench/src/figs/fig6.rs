@@ -6,6 +6,7 @@
 //! frequent compatibility checks. The throughput for simpler schemes is not
 //! affected."
 
+use crate::report::MetricsRecord;
 use crate::{drive_wallclock, scale_events, Report, VariantKind};
 use lmerge_gen::timing::add_lag;
 use lmerge_gen::{assign_times, generate, GenConfig};
@@ -18,6 +19,8 @@ pub struct Fig6Row {
     pub memory: [usize; 3],
     /// Input throughput (elements/s) per measured variant.
     pub eps: [f64; 3],
+    /// Headline record per measured variant (LMR1, LMR3+, LMR4).
+    pub records: [MetricsRecord; 3],
 }
 
 /// Run the StableFreq sweep (ordered workload so every variant can run).
@@ -45,6 +48,7 @@ pub fn run(events: usize) -> Vec<Fig6Row> {
             .collect();
         let mut memory = [0usize; 3];
         let mut eps = [0f64; 3];
+        let mut records = [MetricsRecord::default(); 3];
         for (i, v) in [VariantKind::R1, VariantKind::R3Plus, VariantKind::R4]
             .into_iter()
             .enumerate()
@@ -53,11 +57,13 @@ pub fn run(events: usize) -> Vec<Fig6Row> {
             let run = drive_wallclock(lm.as_mut(), &timed);
             memory[i] = run.peak_memory;
             eps[i] = run.throughput_eps();
+            records[i] = MetricsRecord::from_wallclock(&run);
         }
         rows.push(Fig6Row {
             stable_freq,
             memory,
             eps,
+            records,
         });
     }
     rows
@@ -93,6 +99,11 @@ pub fn report() -> Report {
     }
     report.note(format!("{events} events/stream, ordered workload"));
     report.note("expected: LMR3+/LMR4 memory falls as StableFreq rises; LMR1 flat");
+    for r in &rows {
+        for (label, rec) in ["LMR1", "LMR3+", "LMR4"].iter().zip(&r.records) {
+            report.metric(format!("{label}@sf={:.3}%", r.stable_freq * 100.0), *rec);
+        }
+    }
     report
 }
 

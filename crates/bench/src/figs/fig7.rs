@@ -8,6 +8,7 @@
 //! directly incurs latency in milliseconds … the Cleanse solution will
 //! incur orders-of-magnitude higher latency."
 
+use crate::report::MetricsRecord;
 use crate::{drive_wallclock, scale_events, Report, VariantKind};
 use lmerge_core::{LMergeR1, LogicalMerge};
 use lmerge_engine::ops::Cleanse;
@@ -26,6 +27,8 @@ pub struct Fig7Row {
     pub eps: [f64; 3],
     /// Mean virtual latency (µs): LMR3+, C+LMR1.
     pub latency_us: [f64; 2],
+    /// Headline record per configuration (LMR3+, LMR3−, C+LMR1).
+    pub records: [MetricsRecord; 3],
 }
 
 fn sub_streams(events: usize, n: usize) -> Vec<Vec<Element<Value>>> {
@@ -135,6 +138,7 @@ pub fn run(events: usize, input_counts: &[usize]) -> Vec<Fig7Row> {
 
         let mut memory = [0usize; 3];
         let mut eps = [0f64; 3];
+        let mut records = [MetricsRecord::default(); 3];
         for (i, v) in [VariantKind::R3Plus, VariantKind::R3Minus]
             .into_iter()
             .enumerate()
@@ -143,10 +147,16 @@ pub fn run(events: usize, input_counts: &[usize]) -> Vec<Fig7Row> {
             let r = drive_wallclock(lm.as_mut(), &timed);
             memory[i] = r.peak_memory;
             eps[i] = r.throughput_eps();
+            records[i] = MetricsRecord::from_wallclock(&r);
         }
         let (elapsed, elements, peak) = drive_cleanse_lmr1(&timed);
         memory[2] = peak;
         eps[2] = elements as f64 / elapsed;
+        records[2] = MetricsRecord {
+            throughput_eps: eps[2],
+            peak_memory_bytes: peak as u64,
+            ..Default::default()
+        };
 
         let latency_us = [
             virtual_latency(streams, false),
@@ -157,6 +167,7 @@ pub fn run(events: usize, input_counts: &[usize]) -> Vec<Fig7Row> {
             memory,
             eps,
             latency_us,
+            records,
         });
     }
     rows
@@ -200,6 +211,11 @@ pub fn report() -> Report {
     report.note(
         "expected: C+LMR1 memory linear in inputs and >> LMR3+; latency orders-of-magnitude higher",
     );
+    for r in &rows {
+        for (label, rec) in ["LMR3+", "LMR3-", "C+LMR1"].iter().zip(&r.records) {
+            report.metric(format!("{label}@{}in", r.inputs), *rec);
+        }
+    }
     report
 }
 

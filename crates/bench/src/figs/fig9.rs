@@ -7,6 +7,7 @@
 //! as at least one input is not lagging. Note that at around 18 seconds,
 //! two inputs are simultaneously congested, but LMerge is unaffected."
 
+use crate::report::MetricsRecord;
 use crate::{scale_events, Report, VariantKind};
 use lmerge_engine::{MergeRun, Query, RunConfig, TimedElement};
 use lmerge_gen::timing::add_congestion;
@@ -21,6 +22,8 @@ pub struct Fig9 {
     pub output_cv: f64,
     /// Worst single-input CV.
     pub worst_input_cv: f64,
+    /// Headline record of the merged run.
+    pub record: MetricsRecord,
 }
 
 /// Run the experiment.
@@ -87,6 +90,7 @@ pub fn run(events: usize) -> Fig9 {
         series,
         output_cv: metrics.output_series.coefficient_of_variation(),
         worst_input_cv,
+        record: MetricsRecord::from_run(&metrics),
     }
 }
 
@@ -114,6 +118,7 @@ pub fn report() -> Report {
     ));
     report.note("congestion: in0@2-4s, in1@6-8s, in1+in2@10-12s (simultaneous)");
     report.note("expected: output steady through every congestion window");
+    report.metric("LMR3+ 3 congested inputs", result.record);
     report
 }
 

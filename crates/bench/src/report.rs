@@ -1,11 +1,70 @@
 //! Aligned-table reporting plus JSON persistence for the figure harness.
+//!
+//! Each figure emits two artefacts under `target/bench-results/`:
+//!
+//! * `<id>.json` — the full table (columns, rows, notes), for archival;
+//! * `BENCH_<id>.json` — a compact machine-readable metrics record per
+//!   measured configuration: throughput, p50/p99 latency (from the
+//!   log-bucketed histogram), peak memory, and chattiness. This is the
+//!   file regression tooling diffs between runs.
 
-use serde::Serialize;
+use lmerge_engine::RunMetrics;
+use lmerge_obs::json::Json;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+/// The headline numbers of one measured configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricsRecord {
+    /// Throughput in events per second (virtual or wall-clock, per figure).
+    pub throughput_eps: f64,
+    /// Median output latency in µs (0 when the figure measures none).
+    pub p50_latency_us: u64,
+    /// 99th-percentile output latency in µs.
+    pub p99_latency_us: u64,
+    /// Peak operator memory estimate in bytes.
+    pub peak_memory_bytes: u64,
+    /// Adjust elements emitted — the paper's chattiness measure.
+    pub chattiness_adjusts: u64,
+}
+
+impl MetricsRecord {
+    /// Extract the record from a virtual-time executor run.
+    pub fn from_run(m: &RunMetrics) -> MetricsRecord {
+        MetricsRecord {
+            throughput_eps: m.throughput_eps(),
+            p50_latency_us: m.latency_quantile_us(0.50),
+            p99_latency_us: m.latency_quantile_us(0.99),
+            peak_memory_bytes: m.peak_memory as u64,
+            chattiness_adjusts: m.merge.adjusts_out,
+        }
+    }
+
+    /// Extract the record from a wall-clock harness run. Wall-clock drives
+    /// measure operator cost, not per-element emission latency, so the
+    /// latency quantiles are 0.
+    pub fn from_wallclock(r: &crate::harness::WallClockRun) -> MetricsRecord {
+        MetricsRecord {
+            throughput_eps: r.throughput_eps(),
+            p50_latency_us: 0,
+            p99_latency_us: 0,
+            peak_memory_bytes: r.peak_memory as u64,
+            chattiness_adjusts: r.stats.adjusts_out,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::object()
+            .with("throughput_eps", self.throughput_eps)
+            .with("p50_latency_us", self.p50_latency_us)
+            .with("p99_latency_us", self.p99_latency_us)
+            .with("peak_memory_bytes", self.peak_memory_bytes)
+            .with("chattiness_adjusts", self.chattiness_adjusts)
+    }
+}
+
 /// A simple column-aligned report: one per figure.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Report {
     /// Experiment id, e.g. `"fig2"`.
     pub id: String,
@@ -17,6 +76,8 @@ pub struct Report {
     pub rows: Vec<Vec<String>>,
     /// Free-form observations appended after the table.
     pub notes: Vec<String>,
+    /// Labelled metrics records serialized to `BENCH_<id>.json`.
+    pub metrics: Vec<(String, MetricsRecord)>,
 }
 
 impl Report {
@@ -28,6 +89,7 @@ impl Report {
             columns: columns.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -40,6 +102,11 @@ impl Report {
     /// Append a note shown below the table.
     pub fn note(&mut self, text: impl Into<String>) {
         self.notes.push(text.into());
+    }
+
+    /// Record the headline metrics of one measured configuration.
+    pub fn metric(&mut self, label: impl Into<String>, record: MetricsRecord) {
+        self.metrics.push((label.into(), record));
     }
 
     /// Render as an aligned text table.
@@ -75,14 +142,50 @@ impl Report {
         s
     }
 
-    /// Print to stdout and persist JSON under `target/bench-results/`.
+    /// The full table as a JSON document.
+    pub fn table_json(&self) -> Json {
+        let strings =
+            |v: &[String]| Json::Array(v.iter().map(|s| Json::from(s.as_str())).collect());
+        Json::object()
+            .with("id", self.id.as_str())
+            .with("title", self.title.as_str())
+            .with("columns", strings(&self.columns))
+            .with(
+                "rows",
+                Json::Array(self.rows.iter().map(|r| strings(r)).collect()),
+            )
+            .with("notes", strings(&self.notes))
+    }
+
+    /// The metrics records as a JSON document (`BENCH_<id>.json` content).
+    pub fn metrics_json(&self) -> Json {
+        Json::object().with("id", self.id.as_str()).with(
+            "metrics",
+            Json::Array(
+                self.metrics
+                    .iter()
+                    .map(|(label, m)| m.to_json().with("label", label.as_str()))
+                    .collect(),
+            ),
+        )
+    }
+
+    /// Print to stdout and persist JSON under `target/bench-results/`:
+    /// the table as `<id>.json` and, when metrics were recorded, the
+    /// compact record as `BENCH_<id>.json`.
     pub fn emit(&self) {
         println!("{}", self.render());
         let dir = PathBuf::from("target/bench-results");
         if std::fs::create_dir_all(&dir).is_ok() {
-            let path = dir.join(format!("{}.json", self.id));
-            if let Ok(json) = serde_json::to_string_pretty(self) {
-                let _ = std::fs::write(path, json);
+            let _ = std::fs::write(
+                dir.join(format!("{}.json", self.id)),
+                self.table_json().render_pretty(),
+            );
+            if !self.metrics.is_empty() {
+                let _ = std::fs::write(
+                    dir.join(format!("BENCH_{}.json", self.id)),
+                    self.metrics_json().render_pretty(),
+                );
             }
         }
     }
@@ -113,6 +216,7 @@ pub fn fmt_eps(eps: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lmerge_obs::json;
 
     #[test]
     fn render_alignment() {
@@ -141,5 +245,54 @@ mod tests {
         assert_eq!(fmt_eps(500.0), "500/s");
         assert_eq!(fmt_eps(1500.0), "1.5K/s");
         assert_eq!(fmt_eps(2_500_000.0), "2.50M/s");
+    }
+
+    #[test]
+    fn table_json_roundtrips() {
+        let mut r = Report::new("figX", "demo", &["a"]);
+        r.row(&["1".into()]);
+        r.note("n");
+        let v = json::parse(&r.table_json().render_pretty()).expect("valid JSON");
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("figX"));
+        assert_eq!(v.get("rows").and_then(Json::as_array).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn metrics_json_carries_the_headline_numbers() {
+        let mut r = Report::new("fig9", "demo", &["a"]);
+        r.metric(
+            "LMR3+",
+            MetricsRecord {
+                throughput_eps: 1_000.5,
+                p50_latency_us: 40,
+                p99_latency_us: 900,
+                peak_memory_bytes: 1 << 20,
+                chattiness_adjusts: 7,
+            },
+        );
+        let v = json::parse(&r.metrics_json().render_pretty()).expect("valid JSON");
+        let m = &v.get("metrics").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(m.get("label").and_then(Json::as_str), Some("LMR3+"));
+        assert_eq!(m.get("p99_latency_us").and_then(Json::as_int), Some(900));
+        assert_eq!(
+            m.get("peak_memory_bytes").and_then(Json::as_int),
+            Some(1 << 20)
+        );
+    }
+
+    #[test]
+    fn from_run_reads_the_histogram() {
+        let mut run = RunMetrics::default();
+        for v in 1..=100u64 {
+            run.latency.record(v);
+        }
+        run.peak_memory = 4096;
+        run.merge.adjusts_out = 3;
+        let rec = MetricsRecord::from_run(&run);
+        assert_eq!(rec.p50_latency_us, 50);
+        // 99 sits in a 4-wide bucket: the histogram reports its lower bound.
+        assert_eq!(rec.p99_latency_us, 96);
+        assert_eq!(rec.peak_memory_bytes, 4096);
+        assert_eq!(rec.chattiness_adjusts, 3);
     }
 }

@@ -1,6 +1,6 @@
 //! The common interface of every LMerge variant.
 
-use crate::stats::MergeStats;
+use crate::stats::{InputCounters, MergeStats};
 use lmerge_properties::RLevel;
 use lmerge_temporal::{Element, Payload, StreamId, Time};
 
@@ -38,6 +38,22 @@ pub trait LogicalMerge<P: Payload> {
 
     /// Element counters (drives the chattiness metric and Theorem 1 tests).
     fn stats(&self) -> MergeStats;
+
+    /// Per-input delivery counters, indexed by stream id: what each replica
+    /// pushed and the latest stable point it announced. Backs the per-input
+    /// lag diagnostics of Section V-D. Implementations that don't track
+    /// per-input detail may return an empty slice.
+    fn input_counters(&self) -> &[InputCounters] {
+        &[]
+    }
+
+    /// The latest stable point announced by `input` (`Time::MIN` before any
+    /// announcement or for unknown ids).
+    fn input_stable(&self, input: StreamId) -> Time {
+        self.input_counters()
+            .get(input.0 as usize)
+            .map_or(Time::MIN, |c| c.last_stable)
+    }
 
     /// Estimated operator memory: index structures plus retained payload
     /// bytes (the metric of the paper's Figures 2, 6, and 7).

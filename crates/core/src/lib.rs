@@ -49,4 +49,4 @@ pub use r3::LMergeR3;
 pub use r3_naive::LMergeR3Naive;
 pub use r4::LMergeR4;
 pub use select::{new_for_level, new_for_properties};
-pub use stats::MergeStats;
+pub use stats::{InputCounters, MergeStats, PerInput};

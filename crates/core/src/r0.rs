@@ -8,7 +8,7 @@
 
 use crate::api::LogicalMerge;
 use crate::inputs::Inputs;
-use crate::stats::MergeStats;
+use crate::stats::{InputCounters, MergeStats, PerInput};
 use lmerge_properties::RLevel;
 use lmerge_temporal::{Element, Payload, StreamId, Time};
 
@@ -19,6 +19,7 @@ pub struct LMergeR0<P: Payload> {
     max_stable: Time,
     inputs: Inputs,
     stats: MergeStats,
+    per_input: PerInput,
     _payload: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -30,6 +31,7 @@ impl<P: Payload> LMergeR0<P> {
             max_stable: Time::MIN,
             inputs: Inputs::new(n),
             stats: MergeStats::default(),
+            per_input: PerInput::new(n),
             _payload: std::marker::PhantomData,
         }
     }
@@ -37,6 +39,7 @@ impl<P: Payload> LMergeR0<P> {
 
 impl<P: Payload> LogicalMerge<P> for LMergeR0<P> {
     fn push(&mut self, input: StreamId, element: &Element<P>, out: &mut Vec<Element<P>>) {
+        self.per_input.on_element(input, element);
         match element {
             Element::Insert(e) => {
                 self.stats.inserts_in += 1;
@@ -72,6 +75,7 @@ impl<P: Payload> LogicalMerge<P> for LMergeR0<P> {
     }
 
     fn attach(&mut self, join_time: Time) -> StreamId {
+        self.per_input.on_attach();
         self.inputs.attach(join_time)
     }
 
@@ -92,8 +96,12 @@ impl<P: Payload> LogicalMerge<P> for LMergeR0<P> {
         self.stats
     }
 
+    fn input_counters(&self) -> &[InputCounters] {
+        self.per_input.counters()
+    }
+
     fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.inputs.memory_bytes()
+        std::mem::size_of::<Self>() + self.inputs.memory_bytes() + self.per_input.memory_bytes()
     }
 
     fn level(&self) -> RLevel {

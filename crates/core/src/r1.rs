@@ -8,7 +8,7 @@
 
 use crate::api::LogicalMerge;
 use crate::inputs::Inputs;
-use crate::stats::MergeStats;
+use crate::stats::{InputCounters, MergeStats, PerInput};
 use lmerge_properties::RLevel;
 use lmerge_temporal::{Element, Payload, StreamId, Time};
 
@@ -21,6 +21,7 @@ pub struct LMergeR1<P: Payload> {
     same_vs_count: Vec<u64>,
     inputs: Inputs,
     stats: MergeStats,
+    per_input: PerInput,
     _payload: std::marker::PhantomData<fn() -> P>,
 }
 
@@ -33,6 +34,7 @@ impl<P: Payload> LMergeR1<P> {
             same_vs_count: vec![0; n],
             inputs: Inputs::new(n),
             stats: MergeStats::default(),
+            per_input: PerInput::new(n),
             _payload: std::marker::PhantomData,
         }
     }
@@ -46,6 +48,7 @@ impl<P: Payload> LMergeR1<P> {
 
 impl<P: Payload> LogicalMerge<P> for LMergeR1<P> {
     fn push(&mut self, input: StreamId, element: &Element<P>, out: &mut Vec<Element<P>>) {
+        self.per_input.on_element(input, element);
         match element {
             Element::Insert(e) => {
                 self.stats.inserts_in += 1;
@@ -91,6 +94,7 @@ impl<P: Payload> LogicalMerge<P> for LMergeR1<P> {
     }
 
     fn attach(&mut self, join_time: Time) -> StreamId {
+        self.per_input.on_attach();
         let id = self.inputs.attach(join_time);
         // A fresh input has presented nothing at the current MaxVs.
         self.same_vs_count.resize(self.inputs.allocated(), 0);
@@ -116,10 +120,15 @@ impl<P: Payload> LogicalMerge<P> for LMergeR1<P> {
         self.stats
     }
 
+    fn input_counters(&self) -> &[InputCounters] {
+        self.per_input.counters()
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.same_vs_count.capacity() * std::mem::size_of::<u64>()
             + self.inputs.memory_bytes()
+            + self.per_input.memory_bytes()
     }
 
     fn level(&self) -> RLevel {

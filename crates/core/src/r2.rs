@@ -12,7 +12,7 @@
 
 use crate::api::LogicalMerge;
 use crate::inputs::Inputs;
-use crate::stats::MergeStats;
+use crate::stats::{InputCounters, MergeStats, PerInput};
 use lmerge_properties::RLevel;
 use lmerge_temporal::{Element, Payload, StreamId, Time};
 use std::collections::HashMap;
@@ -50,6 +50,7 @@ pub struct LMergeR2<P: Payload> {
     payload_bytes: usize,
     inputs: Inputs,
     stats: MergeStats,
+    per_input: PerInput,
 }
 
 impl<P: Payload> LMergeR2<P> {
@@ -62,12 +63,14 @@ impl<P: Payload> LMergeR2<P> {
             payload_bytes: 0,
             inputs: Inputs::new(n),
             stats: MergeStats::default(),
+            per_input: PerInput::new(n),
         }
     }
 }
 
 impl<P: Payload> LogicalMerge<P> for LMergeR2<P> {
     fn push(&mut self, input: StreamId, element: &Element<P>, out: &mut Vec<Element<P>>) {
+        self.per_input.on_element(input, element);
         match element {
             Element::Insert(e) => {
                 self.stats.inserts_in += 1;
@@ -119,6 +122,7 @@ impl<P: Payload> LogicalMerge<P> for LMergeR2<P> {
     }
 
     fn attach(&mut self, join_time: Time) -> StreamId {
+        self.per_input.on_attach();
         self.inputs.attach(join_time)
     }
 
@@ -138,11 +142,16 @@ impl<P: Payload> LogicalMerge<P> for LMergeR2<P> {
         self.stats
     }
 
+    fn input_counters(&self) -> &[InputCounters] {
+        self.per_input.counters()
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.at_max_vs.capacity() * std::mem::size_of::<P>()
             + self.payload_bytes
             + self.inputs.memory_bytes()
+            + self.per_input.memory_bytes()
     }
 
     fn level(&self) -> RLevel {

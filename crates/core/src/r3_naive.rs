@@ -12,7 +12,7 @@
 
 use crate::api::LogicalMerge;
 use crate::inputs::Inputs;
-use crate::stats::MergeStats;
+use crate::stats::{InputCounters, MergeStats, PerInput};
 use lmerge_properties::RLevel;
 use lmerge_temporal::{Element, Payload, StreamId, Time};
 use std::collections::{BTreeMap, HashMap};
@@ -106,6 +106,7 @@ pub struct LMergeR3Naive<P: Payload> {
     max_stable: Time,
     inputs: Inputs,
     stats: MergeStats,
+    input_tallies: PerInput,
 }
 
 impl<P: Payload> LMergeR3Naive<P> {
@@ -117,6 +118,7 @@ impl<P: Payload> LMergeR3Naive<P> {
             max_stable: Time::MIN,
             inputs: Inputs::new(n),
             stats: MergeStats::default(),
+            input_tallies: PerInput::new(n),
         }
     }
 
@@ -131,6 +133,7 @@ impl<P: Payload> LMergeR3Naive<P> {
 
 impl<P: Payload> LogicalMerge<P> for LMergeR3Naive<P> {
     fn push(&mut self, input: StreamId, element: &Element<P>, out: &mut Vec<Element<P>>) {
+        self.input_tallies.on_element(input, element);
         match element {
             Element::Insert(e) => {
                 self.stats.inserts_in += 1;
@@ -225,6 +228,7 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3Naive<P> {
     }
 
     fn attach(&mut self, join_time: Time) -> StreamId {
+        self.input_tallies.on_attach();
         let id = self.inputs.attach(join_time);
         self.per_input
             .resize_with(self.inputs.allocated(), EventIndex::new);
@@ -246,6 +250,10 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3Naive<P> {
         self.stats
     }
 
+    fn input_counters(&self) -> &[InputCounters] {
+        self.input_tallies.counters()
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self
@@ -255,6 +263,7 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3Naive<P> {
                 .sum::<usize>()
             + self.output.memory_bytes()
             + self.inputs.memory_bytes()
+            + self.input_tallies.memory_bytes()
     }
 
     fn level(&self) -> RLevel {

@@ -11,7 +11,7 @@
 use crate::api::LogicalMerge;
 use crate::in3t::In3t;
 use crate::inputs::Inputs;
-use crate::stats::MergeStats;
+use crate::stats::{InputCounters, MergeStats, PerInput};
 use lmerge_properties::RLevel;
 use lmerge_temporal::{Element, Payload, StreamId, Time};
 
@@ -22,6 +22,7 @@ pub struct LMergeR4<P: Payload> {
     max_stable: Time,
     inputs: Inputs,
     stats: MergeStats,
+    per_input: PerInput,
 }
 
 impl<P: Payload> LMergeR4<P> {
@@ -32,6 +33,7 @@ impl<P: Payload> LMergeR4<P> {
             max_stable: Time::MIN,
             inputs: Inputs::new(n),
             stats: MergeStats::default(),
+            per_input: PerInput::new(n),
         }
     }
 
@@ -195,6 +197,7 @@ impl<P: Payload> LMergeR4<P> {
 
 impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
     fn push(&mut self, input: StreamId, element: &Element<P>, out: &mut Vec<Element<P>>) {
+        self.per_input.on_element(input, element);
         match element {
             Element::Insert(e) => {
                 self.stats.inserts_in += 1;
@@ -253,6 +256,7 @@ impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
     }
 
     fn attach(&mut self, join_time: Time) -> StreamId {
+        self.per_input.on_attach();
         self.inputs.attach(join_time)
     }
 
@@ -269,8 +273,15 @@ impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
         self.stats
     }
 
+    fn input_counters(&self) -> &[InputCounters] {
+        self.per_input.counters()
+    }
+
     fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.index.memory_bytes() + self.inputs.memory_bytes()
+        std::mem::size_of::<Self>()
+            + self.index.memory_bytes()
+            + self.inputs.memory_bytes()
+            + self.per_input.memory_bytes()
     }
 
     fn level(&self) -> RLevel {

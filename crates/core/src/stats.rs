@@ -5,6 +5,13 @@
 //! Section VI-B), and the Theorem 1 test — Algorithm R3 outputs no more
 //! insert+adjust elements than the inserts it received, and no more stables
 //! than the stables it received.
+//!
+//! [`PerInput`] breaks the input-side counts down by replica, and remembers
+//! each replica's latest announced stable point — the raw material for the
+//! per-input lag diagnostics ("which input is holding the merge back",
+//! Section V-D).
+
+use lmerge_temporal::{Element, Payload, StreamId, Time};
 
 /// Counters of elements consumed and produced by an LMerge instance.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -44,6 +51,93 @@ impl MergeStats {
     }
 }
 
+/// Delivery counters for one input replica.
+///
+/// Counts are taken at `push` entry, before join/leave gating — they answer
+/// "what did this replica send", not "what did the merge accept".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InputCounters {
+    /// Insert elements pushed by this input.
+    pub inserts: u64,
+    /// Adjust elements pushed by this input.
+    pub adjusts: u64,
+    /// Stable elements pushed by this input.
+    pub stables: u64,
+    /// The latest stable point this input announced (`Time::MIN` if none).
+    pub last_stable: Time,
+}
+
+impl Default for InputCounters {
+    fn default() -> InputCounters {
+        InputCounters {
+            inserts: 0,
+            adjusts: 0,
+            stables: 0,
+            last_stable: Time::MIN,
+        }
+    }
+}
+
+impl InputCounters {
+    /// Data (insert + adjust) elements pushed by this input.
+    pub fn data(&self) -> u64 {
+        self.inserts + self.adjusts
+    }
+
+    /// All elements pushed by this input.
+    pub fn elements(&self) -> u64 {
+        self.inserts + self.adjusts + self.stables
+    }
+}
+
+/// Per-input counter registry shared by every LMerge variant.
+#[derive(Clone, Debug, Default)]
+pub struct PerInput {
+    counters: Vec<InputCounters>,
+}
+
+impl PerInput {
+    /// Counters for `n` initially attached inputs.
+    pub fn new(n: usize) -> PerInput {
+        PerInput {
+            counters: vec![InputCounters::default(); n],
+        }
+    }
+
+    /// Count one pushed element (ids beyond the current size grow the
+    /// registry, so late-attached streams are always covered).
+    pub fn on_element<P: Payload>(&mut self, input: StreamId, element: &Element<P>) {
+        let i = input.0 as usize;
+        if i >= self.counters.len() {
+            self.counters.resize(i + 1, InputCounters::default());
+        }
+        let c = &mut self.counters[i];
+        match element {
+            Element::Insert(_) => c.inserts += 1,
+            Element::Adjust { .. } => c.adjusts += 1,
+            Element::Stable(t) => {
+                c.stables += 1;
+                c.last_stable = c.last_stable.max(*t);
+            }
+        }
+    }
+
+    /// Register one newly attached input.
+    pub fn on_attach(&mut self) {
+        self.counters.push(InputCounters::default());
+    }
+
+    /// The counters, indexed by input id.
+    pub fn counters(&self) -> &[InputCounters] {
+        &self.counters
+    }
+
+    /// Approximate memory footprint of the registry.
+    pub fn memory_bytes(&self) -> usize {
+        self.counters.capacity() * std::mem::size_of::<InputCounters>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +167,28 @@ mod tests {
             ..Default::default()
         };
         assert!(!s.satisfies_theorem1());
+    }
+
+    #[test]
+    fn per_input_counts_by_replica() {
+        let mut p = PerInput::new(2);
+        p.on_element(StreamId(0), &Element::insert("a", 1, 5));
+        p.on_element(StreamId(0), &Element::adjust("a", 1, 5, 7));
+        p.on_element(StreamId(1), &Element::<&str>::stable(9));
+        p.on_element(StreamId(1), &Element::<&str>::stable(4)); // regression ignored
+        assert_eq!(p.counters()[0].data(), 2);
+        assert_eq!(p.counters()[0].last_stable, Time::MIN);
+        assert_eq!(p.counters()[1].stables, 2);
+        assert_eq!(p.counters()[1].last_stable, Time(9));
+        assert_eq!(p.counters()[1].elements(), 2);
+    }
+
+    #[test]
+    fn per_input_grows_for_late_ids() {
+        let mut p = PerInput::new(1);
+        p.on_element(StreamId(3), &Element::insert("x", 1, 2));
+        assert_eq!(p.counters().len(), 4);
+        p.on_attach();
+        assert_eq!(p.counters().len(), 5);
     }
 }

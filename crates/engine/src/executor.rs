@@ -9,13 +9,39 @@
 //! The run ends when the merged output becomes complete (its stable point
 //! reaches `∞` — "answers can be pulled from whichever copy finishes
 //! first"), or when every input is drained.
+//!
+//! Every run can optionally be traced: [`MergeRun::run_with`] takes any
+//! [`TraceSink`] and emits typed [`TraceEvent`]s (deliveries, emissions,
+//! stable-point advances, feedback, queue depth, memory). The executor is
+//! generic over the sink, so the default [`NullSink`] — whose
+//! `enabled()` is statically `false` — monomorphizes the whole
+//! instrumentation path away.
 
 use crate::metrics::{RunMetrics, Series};
 use crate::query::Query;
 use lmerge_core::LogicalMerge;
+use lmerge_obs::{ElementKind, NullSink, StableScope, TraceEvent, TraceSink};
 use lmerge_temporal::{Element, Payload, StreamId, Time, VTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// The trace-event kind of a stream element.
+fn kind_of<P: Payload>(e: &Element<P>) -> ElementKind {
+    match e {
+        Element::Insert(_) => ElementKind::Insert,
+        Element::Adjust { .. } => ElementKind::Adjust,
+        Element::Stable(_) => ElementKind::Stable,
+    }
+}
+
+/// The element's `Vs` (for punctuation, the stable time itself).
+fn vs_of<P: Payload>(e: &Element<P>) -> Time {
+    match e {
+        Element::Insert(ev) => ev.vs,
+        Element::Adjust { vs, .. } => *vs,
+        Element::Stable(t) => *t,
+    }
+}
 
 /// Executor knobs.
 #[derive(Clone, Copy, Debug)]
@@ -60,8 +86,18 @@ impl<P: Payload> MergeRun<P> {
         }
     }
 
-    /// Execute to completion, returning the metrics.
-    pub fn run(mut self) -> RunMetrics {
+    /// Execute to completion, returning the metrics. Untraced: equivalent
+    /// to [`run_with`](Self::run_with) with a [`NullSink`], which compiles
+    /// the instrumentation away entirely.
+    pub fn run(self) -> RunMetrics {
+        self.run_with(&mut NullSink)
+    }
+
+    /// Execute to completion, recording trace events into `trace`.
+    ///
+    /// Pass a [`lmerge_obs::Tracer`] to capture the event ring and per-input
+    /// lag gauges; the caller keeps ownership and can export afterwards.
+    pub fn run_with<S: TraceSink>(mut self, trace: &mut S) -> RunMetrics {
         let n = self.queries.len();
         let mut metrics = RunMetrics {
             input_series: vec![Series::default(); n],
@@ -87,6 +123,10 @@ impl<P: Payload> MergeRun<P> {
         let mut delivered = 0usize;
         let mut out = Vec::new();
         let mut last_feedback = Time::MIN;
+        // High-water marks so stable-point trace events fire only on a
+        // genuine advance (used only when tracing is enabled).
+        let mut input_stable_hw = vec![Time::MIN; n];
+        let mut output_stable_hw = Time::MIN;
 
         while let Some(Reverse((deliver_at, _, qi))) = heap.pop() {
             let batch = pending[qi].take().expect("batch staged for this query");
@@ -114,7 +154,47 @@ impl<P: Payload> MergeRun<P> {
             let data_out = out.iter().filter(|e| !e.is_stable()).count() as u64;
             if data_out > 0 {
                 metrics.output_series.add(lmerge_ready, data_out);
-                metrics.latencies_us.push(lmerge_ready.since(batch.arrival));
+                metrics.latency.record(lmerge_ready.since(batch.arrival));
+            }
+
+            if trace.enabled() {
+                // Delivery-time events first, emission-time events second,
+                // so the trace stays in virtual-time order.
+                trace.record(TraceEvent::BatchDelivered {
+                    at: deliver_at,
+                    input: qi as u32,
+                    elements: batch.elements.len() as u32,
+                    data: data_in as u32,
+                });
+                let in_stable = self.lmerge.input_stable(StreamId(qi as u32));
+                if in_stable > input_stable_hw[qi] {
+                    input_stable_hw[qi] = in_stable;
+                    trace.record(TraceEvent::StablePointAdvanced {
+                        at: deliver_at,
+                        scope: StableScope::Input(qi as u32),
+                        stable: in_stable,
+                    });
+                }
+                trace.record(TraceEvent::QueueDepthSampled {
+                    at: deliver_at,
+                    staged: heap.len() as u32,
+                });
+                for e in &out {
+                    trace.record(TraceEvent::ElementEmitted {
+                        at: lmerge_ready,
+                        kind: kind_of(e),
+                        vs: vs_of(e),
+                    });
+                }
+                let out_stable = self.lmerge.max_stable();
+                if out_stable > output_stable_hw {
+                    output_stable_hw = out_stable;
+                    trace.record(TraceEvent::StablePointAdvanced {
+                        at: lmerge_ready,
+                        scope: StableScope::Output,
+                        stable: out_stable,
+                    });
+                }
             }
 
             // Feedback propagation (Section V-D).
@@ -125,6 +205,12 @@ impl<P: Payload> MergeRun<P> {
                     for q in &mut self.queries {
                         q.on_feedback(fp);
                     }
+                    if trace.enabled() {
+                        trace.record(TraceEvent::FeedbackPropagated {
+                            at: lmerge_ready,
+                            point: fp,
+                        });
+                    }
                 }
             }
 
@@ -134,6 +220,12 @@ impl<P: Payload> MergeRun<P> {
                     + self.queries.iter().map(Query::memory_bytes).sum::<usize>();
                 metrics.peak_memory = metrics.peak_memory.max(mem);
                 metrics.memory_samples.push((lmerge_ready, mem));
+                if trace.enabled() {
+                    trace.record(TraceEvent::MemorySampled {
+                        at: lmerge_ready,
+                        bytes: mem as u64,
+                    });
+                }
             }
 
             // Output complete? Then the remaining inputs are redundant.
@@ -147,6 +239,11 @@ impl<P: Payload> MergeRun<P> {
                 heap.push(Reverse((b.deliver_at, seq, qi)));
                 seq += 1;
                 pending[qi] = Some(b);
+            } else if trace.enabled() {
+                trace.record(TraceEvent::InputDrained {
+                    at: lmerge_ready,
+                    input: qi as u32,
+                });
             }
         }
 
@@ -163,6 +260,15 @@ impl<P: Payload> MergeRun<P> {
         metrics.peak_memory = metrics.peak_memory.max(mem);
         metrics.memory_samples.push((lmerge_ready, mem));
         metrics.merge = self.lmerge.stats();
+        if trace.enabled() {
+            trace.record(TraceEvent::MemorySampled {
+                at: lmerge_ready,
+                bytes: mem as u64,
+            });
+            trace.record(TraceEvent::RunCompleted {
+                at: metrics.completion(),
+            });
+        }
         metrics
     }
 }
@@ -271,6 +377,109 @@ mod tests {
         let (out, end) = run_single(Query::passthrough(s));
         assert_eq!(out.len(), 2);
         assert!(end > VTime::ZERO);
+    }
+
+    #[test]
+    fn traced_run_records_the_story() {
+        use lmerge_obs::Tracer;
+        let s1 = timed(&[
+            (0, E::insert("a", 1, 5)),
+            (10, E::stable(3)),
+            (20, E::insert("b", 4, 8)),
+            (30, E::stable(Time::INFINITY)),
+        ]);
+        let s2: Vec<_> = s1
+            .iter()
+            .map(|te| TimedElement::new(te.at.advance(5_000), te.element.clone()))
+            .collect();
+        let mut tracer = Tracer::new();
+        let m = MergeRun::new(
+            vec![Query::passthrough(s1), Query::passthrough(s2)],
+            lmr3(2),
+            RunConfig {
+                feedback: true,
+                ..RunConfig::default()
+            },
+        )
+        .run_with(&mut tracer);
+
+        let events: Vec<TraceEvent> = tracer.events().copied().collect();
+        let batches = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::BatchDelivered { .. }))
+            .count();
+        assert!(batches >= 4, "deliveries traced, got {batches}");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::ElementEmitted { .. })),
+            "emissions traced"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                TraceEvent::StablePointAdvanced {
+                    scope: StableScope::Output,
+                    ..
+                }
+            )),
+            "output stable advance traced"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                TraceEvent::StablePointAdvanced {
+                    scope: StableScope::Input(0),
+                    ..
+                }
+            )),
+            "per-input stable advance traced"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::FeedbackPropagated { .. })),
+            "feedback traced"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::RunCompleted { .. })),
+            "completion traced"
+        );
+        // The gauges agree with the merge's own view of progress.
+        assert_eq!(tracer.lag().output_stable(), Time::INFINITY);
+        assert!(m.output_complete_at.is_some());
+        // Virtual timestamps are monotone within the trace.
+        let times: Vec<_> = events.iter().map(|e| e.at()).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted, "trace is in virtual-time order");
+    }
+
+    #[test]
+    fn untraced_run_equals_traced_run() {
+        use lmerge_obs::Tracer;
+        let mk = || {
+            vec![
+                Query::passthrough(timed(&[
+                    (0, E::insert("a", 1, 5)),
+                    (10, E::insert("b", 2, 6)),
+                    (20, E::stable(Time::INFINITY)),
+                ])),
+                Query::passthrough(timed(&[
+                    (3, E::insert("a", 1, 5)),
+                    (13, E::insert("b", 2, 6)),
+                    (23, E::stable(Time::INFINITY)),
+                ])),
+            ]
+        };
+        let plain = MergeRun::new(mk(), lmr3(2), RunConfig::default()).run();
+        let mut tracer = Tracer::new();
+        let traced = MergeRun::new(mk(), lmr3(2), RunConfig::default()).run_with(&mut tracer);
+        assert_eq!(plain.merge, traced.merge, "tracing must not change the run");
+        assert_eq!(plain.output_complete_at, traced.output_complete_at);
+        assert_eq!(plain.latency, traced.latency);
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod ops;
 pub mod query;
 
 pub use executor::{MergeRun, RunConfig};
-pub use metrics::RunMetrics;
+pub use metrics::{RunMetrics, Series};
 pub use operator::{Operator, TimedElement};
 pub use query::Query;

@@ -7,6 +7,7 @@
 //! arrival time.
 
 use lmerge_core::MergeStats;
+use lmerge_obs::LogHistogram;
 use lmerge_temporal::VTime;
 use std::collections::BTreeMap;
 
@@ -39,23 +40,30 @@ impl Series {
 
     /// Coefficient of variation (σ/μ) over the series' span — the
     /// "smoothness" measure for the bursty/congestion experiments.
+    ///
+    /// O(#stored buckets), independent of the time span: seconds with no
+    /// stored bucket all contribute the same `(0 − μ)²` term, so their sum
+    /// is `(span − #stored) · μ²` without enumerating them.
     pub fn coefficient_of_variation(&self) -> f64 {
         let Some((&first, _)) = self.buckets.first_key_value() else {
             return 0.0;
         };
         let (&last, _) = self.buckets.last_key_value().expect("non-empty");
-        let n = (last - first + 1) as f64;
-        let mean = self.total() as f64 / n;
+        let span = (last - first + 1) as f64;
+        let mean = self.total() as f64 / span;
         if mean == 0.0 {
             return 0.0;
         }
-        let var = (first..=last)
-            .map(|s| {
-                let d = self.at(s) as f64 - mean;
+        let stored_sq = self
+            .buckets
+            .values()
+            .map(|&c| {
+                let d = c as f64 - mean;
                 d * d
             })
-            .sum::<f64>()
-            / n;
+            .sum::<f64>();
+        let empty_sq = (span - self.buckets.len() as f64) * mean * mean;
+        let var = (stored_sq + empty_sq) / span;
         var.sqrt() / mean
     }
 }
@@ -70,7 +78,8 @@ pub struct RunMetrics {
     /// Delivered input data elements per virtual second, per input.
     pub input_series: Vec<Series>,
     /// Latency (µs) of each output-producing batch: emission − arrival.
-    pub latencies_us: Vec<u64>,
+    /// Log-bucketed — O(#buckets) memory however long the run.
+    pub latency: LogHistogram,
     /// Sampled `(vtime, bytes)` of LMerge + query-operator state.
     pub memory_samples: Vec<(VTime, usize)>,
     /// Largest memory sample observed.
@@ -85,21 +94,15 @@ pub struct RunMetrics {
 impl RunMetrics {
     /// Mean latency in microseconds (0 when nothing was measured).
     pub fn mean_latency_us(&self) -> f64 {
-        if self.latencies_us.is_empty() {
-            return 0.0;
-        }
-        self.latencies_us.iter().sum::<u64>() as f64 / self.latencies_us.len() as f64
+        self.latency.mean()
     }
 
-    /// The `q`-quantile latency in microseconds (e.g. `0.99`).
+    /// The `q`-quantile latency in microseconds (e.g. `0.99`), using the
+    /// nearest-rank definition: the sample at rank `⌈q·n⌉`. (The previous
+    /// index-rounding selection could underestimate high quantiles — e.g.
+    /// p91 of ten samples picked the 9th, not the 10th.)
     pub fn latency_quantile_us(&self, q: f64) -> u64 {
-        if self.latencies_us.is_empty() {
-            return 0;
-        }
-        let mut v = self.latencies_us.clone();
-        v.sort_unstable();
-        let idx = ((v.len() - 1) as f64 * q).round() as usize;
-        v[idx]
+        self.latency.quantile(q)
     }
 
     /// End-to-end completion time: when the output became complete, or when
@@ -148,13 +151,39 @@ mod tests {
 
     #[test]
     fn latency_stats() {
-        let m = RunMetrics {
-            latencies_us: vec![10, 20, 30, 40, 1000],
-            ..Default::default()
-        };
+        let mut m = RunMetrics::default();
+        for v in [10u64, 20, 30, 40, 1000] {
+            m.latency.record(v);
+        }
         assert_eq!(m.mean_latency_us(), 220.0);
         assert_eq!(m.latency_quantile_us(0.5), 30);
         assert_eq!(m.latency_quantile_us(1.0), 1000);
+    }
+
+    #[test]
+    fn latency_quantile_is_nearest_rank() {
+        // Ten samples 1..=10 µs. Nearest-rank q=0.91 is the rank-⌈9.1⌉ = 10
+        // sample, i.e. 10. The old `((n-1)·q).round()` selection picked
+        // index 8 (value 9), silently underestimating high quantiles.
+        let mut m = RunMetrics::default();
+        for v in 1..=10u64 {
+            m.latency.record(v);
+        }
+        assert_eq!(m.latency_quantile_us(0.91), 10);
+        assert_eq!(m.latency_quantile_us(0.9), 9, "rank ⌈9.0⌉ = 9");
+        assert_eq!(m.latency_quantile_us(0.0), 1, "rank clamps to 1");
+    }
+
+    #[test]
+    fn cv_counts_empty_seconds_in_the_span() {
+        // One burst at second 0 and one at second 9; the eight silent
+        // seconds between them must raise the CV exactly as if enumerated.
+        let mut sparse = Series::default();
+        sparse.add(VTime::from_secs(0), 100);
+        sparse.add(VTime::from_secs(9), 100);
+        // mean = 20, var = (2·80² + 8·20²)/10 = 1600, cv = 40/20 = 2.
+        let cv = sparse.coefficient_of_variation();
+        assert!((cv - 2.0).abs() < 1e-9, "got {cv}");
     }
 
     #[test]

@@ -285,7 +285,8 @@ impl IntervalCount {
                 out.push(Element::insert(payload_for(group, seg.count), *s, seg.end));
             }
         }
-        self.open_from.insert(group, new_open.unwrap_or(Time::INFINITY));
+        self.open_from
+            .insert(group, new_open.unwrap_or(Time::INFINITY));
     }
 
     fn group_of(&self, v: &Value) -> u32 {

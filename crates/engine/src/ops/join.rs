@@ -282,7 +282,7 @@ pub fn join_streams(left: &[Element<Value>], right: &[Element<Value>]) -> Vec<El
             if let Some(e) = side.get(k) {
                 buf.clear();
                 j.on_element(port, e, &mut buf);
-                out.extend(buf.drain(..));
+                out.append(&mut buf);
             }
         }
     }

@@ -78,7 +78,7 @@ mod tests {
         for e in elems {
             buf.clear();
             s.on_element(e, &mut buf);
-            out.extend(buf.drain(..));
+            out.append(&mut buf);
         }
         out
     }

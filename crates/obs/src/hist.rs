@@ -1,0 +1,306 @@
+//! A log-bucketed histogram with nearest-rank quantiles.
+//!
+//! Replaces the unbounded `Vec<u64>` latency store: memory is O(#buckets)
+//! regardless of sample count, so week-long virtual runs cost the same as
+//! ten-second ones. Buckets are 16 linear sub-buckets per power of two
+//! (HDR-histogram style), which keeps relative error under 1/16 ≈ 6.25%
+//! everywhere and records values below 32 exactly.
+
+/// log2 of the sub-bucket count per octave.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets needed to cover the full `u64` range.
+const NUM_BUCKETS: usize = (2 * SUB + (63 - SUB_BITS as u64) * SUB) as usize;
+
+/// Bucket index of a value: identity below `2·SUB`, log/linear above.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 2 * SUB {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros(); // ≥ SUB_BITS + 1
+        let sub = (v >> (octave - SUB_BITS)) - SUB; // in [0, SUB)
+        ((octave - SUB_BITS) as u64 * SUB + SUB + sub) as usize
+    }
+}
+
+/// Smallest value mapping to bucket `i`.
+#[inline]
+fn bucket_lower_bound(i: usize) -> u64 {
+    if i < 2 * SUB as usize {
+        i as u64
+    } else {
+        let block = (i as u64 - SUB) / SUB;
+        let sub = (i as u64 - SUB) % SUB;
+        (SUB + sub) << block
+    }
+}
+
+/// A histogram of `u64` samples with logarithmic bucketing.
+///
+/// [`quantile`](LogHistogram::quantile) uses the nearest-rank definition —
+/// the value whose rank is `⌈q·n⌉` — so small samples never underestimate
+/// high quantiles, and the reported value is clamped to the observed
+/// `[min, max]` range.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// Allocated lazily on first record; always `NUM_BUCKETS` long after.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram (no allocation until the first sample).
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; NUM_BUCKETS];
+        }
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.counts[bucket_index(value)] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether any sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank `q`-quantile (`q` in `[0, 1]`), 0 when empty.
+    ///
+    /// The returned value is the lower bound of the bucket holding the
+    /// rank-`⌈q·n⌉` sample, clamped to the observed `[min, max]`; values
+    /// below 32 are reported exactly.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are known exactly, not just to bucket precision.
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_lower_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; NUM_BUCKETS];
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)`, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower_bound(i), c))
+    }
+
+    /// Heap footprint of the histogram — O(#buckets), not O(#samples).
+    pub fn memory_bytes(&self) -> usize {
+        self.counts.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_roundtrips() {
+        for v in [0u64, 1, 15, 16, 31, 32, 33, 63, 64, 1000, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} for {v}");
+            let lo = bucket_lower_bound(i);
+            assert!(lo <= v, "lower bound {lo} exceeds {v}");
+            if i + 1 < NUM_BUCKETS {
+                assert!(bucket_lower_bound(i + 1) > v, "value {v} beyond bucket {i}");
+            }
+        }
+        // Small values are exact.
+        for v in 0..32u64 {
+            assert_eq!(bucket_lower_bound(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn nearest_rank_quantiles_exact_for_small_values() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(0.5), 5, "rank ⌈0.5·10⌉ = 5");
+        assert_eq!(h.quantile(0.9), 9);
+        // The old `.round()` selection returned 9 here; nearest-rank says
+        // rank ⌈0.91·10⌉ = 10 → the maximum.
+        assert_eq!(h.quantile(0.91), 10);
+        assert_eq!(h.quantile(1.0), 10);
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_range() {
+        let mut h = LogHistogram::new();
+        h.record(1000); // bucket [992, 1024)
+        assert_eq!(h.quantile(0.5), 1000, "single sample reports itself");
+        assert_eq!(h.quantile(1.0), 1000);
+        h.record(10);
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let mut h = LogHistogram::new();
+        for v in (0..10_000u64).map(|i| i * 37 + 5) {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let approx = h.quantile(q) as f64;
+            let exact = (q * 10_000f64).ceil().clamp(1.0, 10_000.0) as u64;
+            let exact = ((exact - 1) * 37 + 5) as f64;
+            let err = (approx - exact).abs() / exact;
+            assert!(err < 1.0 / 16.0, "q={q}: {approx} vs {exact} (err {err})");
+        }
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 220.0);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.memory_bytes(), 0, "no allocation before first sample");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record_n(5, 3);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.quantile(1.0), 1000);
+        assert_eq!(a.quantile(0.5), 5);
+    }
+
+    #[test]
+    fn memory_is_bounded_by_buckets() {
+        let mut h = LogHistogram::new();
+        for i in 0..1_000_000u64 {
+            h.record(i % 100_000);
+        }
+        assert_eq!(h.count(), 1_000_000);
+        assert!(h.memory_bytes() <= NUM_BUCKETS * 8 + 64);
+    }
+
+    #[test]
+    fn buckets_iterate_nonzero_ascending() {
+        let mut h = LogHistogram::new();
+        h.record_n(3, 2);
+        h.record(100);
+        let b: Vec<_> = h.buckets().collect();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0], (3, 2));
+        assert!(b[1].0 <= 100 && b[1].1 == 1);
+    }
+}

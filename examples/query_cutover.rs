@@ -25,7 +25,7 @@ fn run_plan(input: &[Element<Value>], groups: u32) -> Vec<Element<Value>> {
     for e in input {
         buf.clear();
         agg.on_element(e, &mut buf);
-        out.extend(buf.drain(..));
+        out.append(&mut buf);
     }
     out
 }

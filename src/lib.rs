@@ -35,11 +35,14 @@
 //!   feedback (Sections IV and V).
 //! * [`engine`] — a mini-DSMS substrate: operators, plans, virtual-time
 //!   executor, metrics (the StreamInsight stand-in for Section VI).
+//! * [`obs`] — virtual-time tracing and diagnostics: event traces, per-input
+//!   lag gauges, log-bucketed histograms, JSONL / Chrome-trace exporters.
 //! * [`gen`] — the paper's synthetic workload generator and divergence /
 //!   lag / burst / congestion models (Section VI-B).
 
 pub use lmerge_core as core;
 pub use lmerge_engine as engine;
 pub use lmerge_gen as gen;
+pub use lmerge_obs as obs;
 pub use lmerge_properties as properties;
 pub use lmerge_temporal as temporal;

@@ -2,10 +2,10 @@
 //! plans on machines with different processor resources — the merge follows
 //! whichever replica is faster, and completion tracks the fast machine.
 
-use lmerge::core::{LMergeR3, LogicalMerge};
+use lmerge::core::LMergeR3;
 use lmerge::engine::{MergeRun, Query, RunConfig, TimedElement};
 use lmerge::gen::{diverge, generate, DivergenceConfig, GenConfig};
-use lmerge::temporal::{Value, VTime};
+use lmerge::temporal::{VTime, Value};
 
 fn sources() -> Vec<Vec<TimedElement<Value>>> {
     let r = generate(&GenConfig::small(2_000, 91).with_disorder(0.2));

@@ -1,5 +1,9 @@
-//! Property-based tests: random mutually consistent inputs, every output
+//! Property-style tests: random mutually consistent inputs, every output
 //! prefix checked against the paper's compatibility oracle.
+//!
+//! Seeded random loops stand in for a property-testing framework: each
+//! case's knobs derive from a fixed master seed and print in the panic
+//! message on failure, so every run is reproducible.
 
 use lmerge::core::{LMergeR3, LMergeR4, LogicalMerge};
 use lmerge::gen::{diverge, generate, DivergenceConfig, GenConfig};
@@ -7,9 +11,9 @@ use lmerge::temporal::compat::{check_r3, check_r4, StreamView};
 use lmerge::temporal::consistency::consistent_with_reference;
 use lmerge::temporal::reconstitute::{tdb_of, Reconstituter};
 use lmerge::temporal::{Element, StreamId, Value};
-use proptest::prelude::*;
+use rand::prelude::*;
 
-/// Build divergent copies from proptest-chosen knobs.
+/// Build divergent copies from randomly chosen knobs.
 fn copies_for(
     events: usize,
     seed: u64,
@@ -30,42 +34,48 @@ fn copies_for(
     (copies, r.tdb)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Per-case knobs drawn from a master RNG.
+fn knobs(rng: &mut StdRng, max_disorder: f64, max_revision: f64) -> (u64, f64, f64) {
+    (
+        rng.random_range(0u64..1000),
+        rng.random_range(0.0..max_disorder),
+        rng.random_range(0.0..max_revision),
+    )
+}
 
-    /// Generated copies are each well formed and consistent with the
-    /// reference at every punctuation point.
-    #[test]
-    fn generated_copies_are_mutually_consistent(
-        seed in 0u64..1000,
-        disorder in 0.0f64..0.5,
-        revision in 0.0f64..0.5,
-    ) {
+/// Generated copies are each well formed and consistent with the reference
+/// at every punctuation point.
+#[test]
+fn generated_copies_are_mutually_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x50_0001);
+    for _ in 0..24 {
+        let (seed, disorder, revision) = knobs(&mut rng, 0.5, 0.5);
         let (copies, reference) = copies_for(60, seed, disorder, revision, 3);
         for copy in &copies {
             let mut rec: Reconstituter<Value> = Reconstituter::new();
             for e in copy {
                 rec.apply(e).expect("copy well formed");
                 if e.is_stable() {
-                    consistent_with_reference(
-                        StreamView::new(rec.tdb(), rec.stable()),
-                        &reference,
-                    )
-                    .expect("prefix consistent with reference");
+                    consistent_with_reference(StreamView::new(rec.tdb(), rec.stable()), &reference)
+                        .expect("prefix consistent with reference");
                 }
             }
-            prop_assert_eq!(rec.tdb(), &reference);
+            assert_eq!(
+                rec.tdb(),
+                &reference,
+                "seed={seed} disorder={disorder:.3} revision={revision:.3}"
+            );
         }
     }
+}
 
-    /// R3 merge: the final output equals the reference, every output prefix
-    /// satisfies C1–C3 at punctuation points, and Theorem 1 holds.
-    #[test]
-    fn r3_output_is_compatible_at_every_stable(
-        seed in 0u64..1000,
-        disorder in 0.0f64..0.5,
-        revision in 0.0f64..0.5,
-    ) {
+/// R3 merge: the final output equals the reference, every output prefix
+/// satisfies C1–C3 at punctuation points, and Theorem 1 holds.
+#[test]
+fn r3_output_is_compatible_at_every_stable() {
+    let mut rng = StdRng::seed_from_u64(0x50_0002);
+    for _ in 0..24 {
+        let (seed, disorder, revision) = knobs(&mut rng, 0.5, 0.5);
         let (copies, reference) = copies_for(50, seed, disorder, revision, 2);
         let mut lm: LMergeR3<Value> = LMergeR3::new(2);
         let mut out = Vec::new();
@@ -94,17 +104,21 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(out_rec.tdb(), &reference);
-        prop_assert!(lm.stats().satisfies_theorem1());
+        assert_eq!(
+            out_rec.tdb(),
+            &reference,
+            "seed={seed} disorder={disorder:.3} revision={revision:.3}"
+        );
+        assert!(lm.stats().satisfies_theorem1());
     }
+}
 
-    /// R4 merge under the tracking policy satisfies the multiset conditions.
-    #[test]
-    fn r4_output_is_compatible_at_every_stable(
-        seed in 0u64..1000,
-        disorder in 0.0f64..0.4,
-        revision in 0.0f64..0.4,
-    ) {
+/// R4 merge under the tracking policy satisfies the multiset conditions.
+#[test]
+fn r4_output_is_compatible_at_every_stable() {
+    let mut rng = StdRng::seed_from_u64(0x50_0003);
+    for _ in 0..24 {
+        let (seed, disorder, revision) = knobs(&mut rng, 0.4, 0.4);
         let (copies, reference) = copies_for(40, seed, disorder, revision, 2);
         let mut lm: LMergeR4<Value> = LMergeR4::new(2);
         let mut out = Vec::new();
@@ -133,18 +147,24 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(out_rec.tdb(), &reference);
+        assert_eq!(
+            out_rec.tdb(),
+            &reference,
+            "seed={seed} disorder={disorder:.3} revision={revision:.3}"
+        );
     }
+}
 
-    /// The count sub-query over any two divergent copies yields mutually
-    /// consistent R3 inputs: merging them reproduces one copy's final TDB.
-    #[test]
-    fn count_subquery_outputs_merge_cleanly(
-        seed in 0u64..500,
-        disorder in 0.0f64..0.5,
-    ) {
-        use lmerge::engine::ops::IntervalCount;
-        use lmerge::engine::Operator;
+/// The count sub-query over any two divergent copies yields mutually
+/// consistent R3 inputs: merging them reproduces one copy's final TDB.
+#[test]
+fn count_subquery_outputs_merge_cleanly() {
+    use lmerge::engine::ops::IntervalCount;
+    use lmerge::engine::Operator;
+    let mut rng = StdRng::seed_from_u64(0x50_0004);
+    for _ in 0..24 {
+        let seed = rng.random_range(0u64..500);
+        let disorder = rng.random_range(0.0f64..0.5);
         let (copies, _) = copies_for(60, seed, disorder, 0.0, 2);
         let subs: Vec<Vec<Element<Value>>> = copies
             .iter()
@@ -158,7 +178,7 @@ proptest! {
             })
             .collect();
         let want = tdb_of(&subs[0]).expect("sub-query output well formed");
-        prop_assert_eq!(&tdb_of(&subs[1]).unwrap(), &want);
+        assert_eq!(&tdb_of(&subs[1]).unwrap(), &want);
 
         let mut lm: LMergeR3<Value> = LMergeR3::new(2);
         let mut out = Vec::new();
@@ -170,6 +190,10 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(&tdb_of(&out).unwrap(), &want);
+        assert_eq!(
+            &tdb_of(&out).unwrap(),
+            &want,
+            "seed={seed} disorder={disorder:.3}"
+        );
     }
 }

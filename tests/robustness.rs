@@ -2,103 +2,119 @@
 //! emit an ill-formed output stream, even when the inputs violate every
 //! contract they have (mutual consistency, punctuation discipline, adjust
 //! chains). Garbage in → clean (possibly wrong) stream out.
+//!
+//! Seeded random loops stand in for property tests: each case derives from
+//! a fixed master seed, so failures are reproducible, and the failing case
+//! number prints in the panic message.
 
 use lmerge::core::{LMergeR3, LMergeR4, LogicalMerge, MergePolicy};
 use lmerge::temporal::reconstitute::Reconstituter;
 use lmerge::temporal::{Element, StreamId, Time};
-use proptest::prelude::*;
+use rand::prelude::*;
 
 /// An arbitrary element over a tiny payload/time domain, so collisions,
 /// stale adjusts, and punctuation violations are all common.
-fn arb_element() -> impl Strategy<Value = Element<&'static str>> {
-    let payloads = prop::sample::select(vec!["a", "b", "c"]);
-    let times = 0i64..20;
-    prop_oneof![
-        (payloads.clone(), times.clone(), times.clone()).prop_map(|(p, vs, d)| {
-            Element::insert(p, vs, vs + d.max(0) + 1)
-        }),
-        (payloads, times.clone(), times.clone(), times.clone()).prop_map(
-            |(p, vs, vold, ve)| Element::adjust(p, vs, vs + vold, vs + ve)
-        ),
-        times.prop_map(Element::stable),
-        Just(Element::stable(Time::INFINITY)),
-    ]
+fn arb_element(rng: &mut StdRng) -> Element<&'static str> {
+    let payload = ["a", "b", "c"][rng.random_range(0usize..3)];
+    let t = |rng: &mut StdRng| rng.random_range(0i64..20);
+    match rng.random_range(0u32..4) {
+        0 => {
+            let vs = t(rng);
+            Element::insert(payload, vs, vs + t(rng).max(0) + 1)
+        }
+        1 => {
+            let vs = t(rng);
+            Element::adjust(payload, vs, vs + t(rng), vs + t(rng))
+        }
+        2 => Element::stable(t(rng)),
+        _ => Element::stable(Time::INFINITY),
+    }
 }
 
-fn arb_feed() -> impl Strategy<Value = Vec<(u8, Element<&'static str>)>> {
-    prop::collection::vec((0u8..3, arb_element()), 0..120)
+fn arb_feed(rng: &mut StdRng) -> Vec<(u8, Element<&'static str>)> {
+    let len = rng.random_range(0usize..120);
+    (0..len)
+        .map(|_| (rng.random_range(0u8..3), arb_element(rng)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// R3 under the default policy: garbage in, well-formed stream out.
-    #[test]
-    fn r3_never_emits_ill_formed_output(feed in arb_feed()) {
-        let mut lm: LMergeR3<&str> = LMergeR3::new(3);
-        let mut out = Vec::new();
-        let mut rec: Reconstituter<&str> = Reconstituter::new();
-        let mut consumed = 0usize;
-        for (s, e) in &feed {
-            lm.push(StreamId(u32::from(*s)), e, &mut out);
-            for oe in &out[consumed..] {
-                rec.apply(oe).expect("output must stay well formed");
-            }
-            consumed = out.len();
+/// Drive a garbage feed and require every emitted prefix to reconstitute.
+fn assert_output_well_formed(
+    mut lm: Box<dyn LogicalMerge<&'static str>>,
+    feed: &[(u8, Element<&'static str>)],
+    case: usize,
+) {
+    let mut out = Vec::new();
+    let mut rec: Reconstituter<&str> = Reconstituter::new();
+    let mut consumed = 0usize;
+    for (s, e) in feed {
+        lm.push(StreamId(u32::from(*s)), e, &mut out);
+        for oe in &out[consumed..] {
+            rec.apply(oe)
+                .unwrap_or_else(|err| panic!("case {case}: ill-formed output: {err:?}"));
         }
+        consumed = out.len();
     }
+}
 
-    /// Same under the eager-adjust policy (the chattier code path).
-    #[test]
-    fn r3_eager_never_emits_ill_formed_output(feed in arb_feed()) {
-        let mut lm: LMergeR3<&str> = LMergeR3::with_policy(3, MergePolicy::eager());
-        let mut out = Vec::new();
-        let mut rec: Reconstituter<&str> = Reconstituter::new();
-        let mut consumed = 0usize;
-        for (s, e) in &feed {
-            lm.push(StreamId(u32::from(*s)), e, &mut out);
-            for oe in &out[consumed..] {
-                rec.apply(oe).expect("output must stay well formed");
-            }
-            consumed = out.len();
-        }
+/// R3 under the default policy: garbage in, well-formed stream out.
+#[test]
+fn r3_never_emits_ill_formed_output() {
+    let mut rng = StdRng::seed_from_u64(0x52_0001);
+    for case in 0..256 {
+        let feed = arb_feed(&mut rng);
+        assert_output_well_formed(Box::new(LMergeR3::<&str>::new(3)), &feed, case);
     }
+}
 
-    /// Same under the conservative policy (deferred-emission code path).
-    #[test]
-    fn r3_conservative_never_emits_ill_formed_output(feed in arb_feed()) {
-        let mut lm: LMergeR3<&str> = LMergeR3::with_policy(3, MergePolicy::conservative());
-        let mut out = Vec::new();
-        let mut rec: Reconstituter<&str> = Reconstituter::new();
-        let mut consumed = 0usize;
-        for (s, e) in &feed {
-            lm.push(StreamId(u32::from(*s)), e, &mut out);
-            for oe in &out[consumed..] {
-                rec.apply(oe).expect("output must stay well formed");
-            }
-            consumed = out.len();
-        }
+/// Same under the eager-adjust policy (the chattier code path).
+#[test]
+fn r3_eager_never_emits_ill_formed_output() {
+    let mut rng = StdRng::seed_from_u64(0x52_0002);
+    for case in 0..256 {
+        let feed = arb_feed(&mut rng);
+        assert_output_well_formed(
+            Box::new(LMergeR3::<&str>::with_policy(3, MergePolicy::eager())),
+            &feed,
+            case,
+        );
     }
+}
 
-    /// R4 (multiset machinery): garbage in, well-formed stream out.
-    #[test]
-    fn r4_never_emits_ill_formed_output(feed in arb_feed()) {
-        let mut lm: LMergeR4<&str> = LMergeR4::new(3);
-        let mut out = Vec::new();
-        let mut rec: Reconstituter<&str> = Reconstituter::new();
-        let mut consumed = 0usize;
-        for (s, e) in &feed {
-            lm.push(StreamId(u32::from(*s)), e, &mut out);
-            for oe in &out[consumed..] {
-                rec.apply(oe).expect("output must stay well formed");
-            }
-            consumed = out.len();
-        }
+/// Same under the conservative policy (deferred-emission code path).
+#[test]
+fn r3_conservative_never_emits_ill_formed_output() {
+    let mut rng = StdRng::seed_from_u64(0x52_0003);
+    for case in 0..256 {
+        let feed = arb_feed(&mut rng);
+        assert_output_well_formed(
+            Box::new(LMergeR3::<&str>::with_policy(
+                3,
+                MergePolicy::conservative(),
+            )),
+            &feed,
+            case,
+        );
     }
+}
 
-    /// Attach/detach churn mid-garbage never corrupts the output either.
-    #[test]
-    fn churn_under_garbage(feed in arb_feed(), churn_at in 0usize..100) {
+/// R4 (multiset machinery): garbage in, well-formed stream out.
+#[test]
+fn r4_never_emits_ill_formed_output() {
+    let mut rng = StdRng::seed_from_u64(0x52_0004);
+    for case in 0..256 {
+        let feed = arb_feed(&mut rng);
+        assert_output_well_formed(Box::new(LMergeR4::<&str>::new(3)), &feed, case);
+    }
+}
+
+/// Attach/detach churn mid-garbage never corrupts the output either.
+#[test]
+fn churn_under_garbage() {
+    let mut rng = StdRng::seed_from_u64(0x52_0005);
+    for case in 0..256 {
+        let feed = arb_feed(&mut rng);
+        let churn_at = rng.random_range(0usize..100);
         let mut lm: LMergeR3<&str> = LMergeR3::new(2);
         let mut out = Vec::new();
         let mut rec: Reconstituter<&str> = Reconstituter::new();
@@ -110,7 +126,8 @@ proptest! {
             }
             lm.push(StreamId(u32::from(*s % 2)), e, &mut out);
             for oe in &out[consumed..] {
-                rec.apply(oe).expect("output must stay well formed");
+                rec.apply(oe)
+                    .unwrap_or_else(|err| panic!("case {case}: ill-formed output: {err:?}"));
             }
             consumed = out.len();
         }

@@ -1,0 +1,163 @@
+//! Counter-consistency: the numbers MergeStats and the per-input counters
+//! report must agree with what actually flowed through the operator, for
+//! every variant R0–R4.
+//!
+//! Three invariants, checked over a generated divergent workload:
+//!
+//! 1. `inserts_out + adjusts_out` equals the data elements observed on the
+//!    output trace;
+//! 2. per-input delivered counts (`InputCounters`) equal what the driver
+//!    actually pushed to each replica;
+//! 3. `inserts_in + adjusts_in + stables_in` equals the total pushed, and
+//!    the output stable point never exceeds any reported input count's
+//!    announced stable point while it is live.
+
+use lmerge::core::{LMergeR0, LMergeR1, LMergeR2, LMergeR3, LMergeR3Naive, LMergeR4, LogicalMerge};
+use lmerge::gen::{diverge, generate, DivergenceConfig, GenConfig};
+use lmerge::temporal::{Element, StreamId, Time, Value};
+
+/// Build three divergent copies of one logical stream (disorder only for
+/// the adjust-tolerant variants).
+fn copies(disorder: f64, revision_prob: f64) -> Vec<Vec<Element<Value>>> {
+    let mut cfg = GenConfig::small(300, 97).with_disorder(disorder);
+    if disorder == 0.0 {
+        cfg.min_gap_ms = 1; // strictly increasing, as the R0 contract requires
+    }
+    let r = generate(&cfg);
+    let div = DivergenceConfig {
+        revision_prob,
+        ..Default::default()
+    };
+    (0..3).map(|i| diverge(&r.elements, &div, i)).collect()
+}
+
+/// What the driver pushed to one input, by element kind.
+#[derive(Default, Clone, Copy, PartialEq, Eq, Debug)]
+struct Pushed {
+    inserts: u64,
+    adjusts: u64,
+    stables: u64,
+}
+
+/// Drive `copies` through `lm` round-robin and check every invariant.
+fn check(mut lm: Box<dyn LogicalMerge<Value>>, copies: &[Vec<Element<Value>>], label: &str) {
+    let mut out = Vec::new();
+    let mut pushed = vec![Pushed::default(); copies.len()];
+    let longest = copies.iter().map(Vec::len).max().unwrap_or(0);
+    for k in 0..longest {
+        for (i, c) in copies.iter().enumerate() {
+            let Some(e) = c.get(k) else { continue };
+            match e {
+                Element::Insert(_) => pushed[i].inserts += 1,
+                Element::Adjust { .. } => pushed[i].adjusts += 1,
+                Element::Stable(_) => pushed[i].stables += 1,
+            }
+            lm.push(StreamId(i as u32), e, &mut out);
+        }
+    }
+
+    let stats = lm.stats();
+
+    // 1. Output counters match the output trace.
+    let data_out = out.iter().filter(|e| !e.is_stable()).count() as u64;
+    let stables_out = out.iter().filter(|e| e.is_stable()).count() as u64;
+    assert_eq!(
+        stats.inserts_out + stats.adjusts_out,
+        data_out,
+        "{label}: inserts_out+adjusts_out must equal output data elements"
+    );
+    assert_eq!(
+        stats.stables_out, stables_out,
+        "{label}: stables_out must equal output stable elements"
+    );
+
+    // 2. Per-input delivered counts match what the driver pushed.
+    let counters = lm.input_counters();
+    assert_eq!(
+        counters.len(),
+        copies.len(),
+        "{label}: one counter per input"
+    );
+    for (i, (c, p)) in counters.iter().zip(&pushed).enumerate() {
+        assert_eq!(
+            (c.inserts, c.adjusts, c.stables),
+            (p.inserts, p.adjusts, p.stables),
+            "{label}: input {i} delivered counts must match the driver"
+        );
+    }
+
+    // 3. Aggregate input counters match, and per-input sums tie out.
+    let total_pushed: u64 = pushed
+        .iter()
+        .map(|p| p.inserts + p.adjusts + p.stables)
+        .sum();
+    assert_eq!(
+        stats.inserts_in + stats.adjusts_in + stats.stables_in,
+        total_pushed,
+        "{label}: aggregate input counters must equal total pushed"
+    );
+    let per_input_total: u64 = counters.iter().map(|c| c.elements()).sum();
+    assert_eq!(
+        per_input_total, total_pushed,
+        "{label}: per-input sums tie out"
+    );
+
+    // The merged stable point can never outrun every replica's announced
+    // stable point (it is the max over inputs, and Time::MIN before any).
+    let max_input_stable = (0..copies.len() as u32)
+        .map(|i| lm.input_stable(StreamId(i)))
+        .max()
+        .unwrap_or(Time::MIN);
+    assert!(
+        lm.max_stable() <= max_input_stable || max_input_stable == Time::MIN,
+        "{label}: output stable {:?} outran every input stable {:?}",
+        lm.max_stable(),
+        max_input_stable
+    );
+}
+
+/// Ordered insert-only copies: every variant must keep consistent books.
+#[test]
+fn all_variants_count_consistently_on_ordered_streams() {
+    let cs = copies(0.0, 0.0);
+    check(Box::new(LMergeR0::<Value>::new(3)), &cs, "R0");
+    check(Box::new(LMergeR1::<Value>::new(3)), &cs, "R1");
+    check(Box::new(LMergeR2::<Value>::new(3)), &cs, "R2");
+    check(Box::new(LMergeR3::<Value>::new(3)), &cs, "R3+");
+    check(Box::new(LMergeR3Naive::<Value>::new(3)), &cs, "R3-");
+    check(Box::new(LMergeR4::<Value>::new(3)), &cs, "R4");
+}
+
+/// Disordered, revision-heavy copies: the general variants must keep
+/// consistent books through adjust processing too.
+#[test]
+fn general_variants_count_consistently_under_revisions() {
+    let cs = copies(0.3, 0.2);
+    check(Box::new(LMergeR3::<Value>::new(3)), &cs, "R3+ (revisions)");
+    check(
+        Box::new(LMergeR3Naive::<Value>::new(3)),
+        &cs,
+        "R3- (revisions)",
+    );
+    check(Box::new(LMergeR4::<Value>::new(3)), &cs, "R4 (revisions)");
+}
+
+/// The per-input gauges single out the replica that is actually behind.
+#[test]
+fn input_stable_tracks_each_replica_independently() {
+    let mut lm: LMergeR3<&str> = LMergeR3::new(2);
+    let mut out = Vec::new();
+    lm.push(StreamId(0), &Element::insert("a", 1, 10), &mut out);
+    lm.push(StreamId(1), &Element::insert("a", 1, 10), &mut out);
+    lm.push(StreamId(0), &Element::stable(50), &mut out);
+    assert_eq!(lm.input_stable(StreamId(0)), Time(50));
+    assert_eq!(
+        lm.input_stable(StreamId(1)),
+        Time::MIN,
+        "replica 1 announced nothing yet"
+    );
+    lm.push(StreamId(1), &Element::stable(20), &mut out);
+    assert_eq!(lm.input_stable(StreamId(1)), Time(20));
+    // Out-of-range ids read as never-announced rather than panicking.
+    assert_eq!(lm.input_stable(StreamId(7)), Time::MIN);
+}
