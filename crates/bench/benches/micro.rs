@@ -1,37 +1,78 @@
 //! Micro-benchmarks: per-element operator costs.
 //!
 //! These complement the figure harness (which measures end-to-end shapes)
-//! with per-element numbers: insert cost per LMerge variant,
-//! adjust-heavy revision cost, stable-processing cost, and reconstitution
-//! overhead. A plain timing harness (best-of-N over a few repeats) keeps
-//! the workspace free of external benchmark frameworks; run with
-//! `cargo bench -p lmerge-bench`.
+//! with per-element numbers: insert cost per LMerge variant, adjust-heavy
+//! revision cost, stable-processing cost, the hot stable-sweep path over a
+//! large live window, the O(1) batched discard of lagging inputs, and
+//! reconstitution overhead. A plain timing harness (best-of-N over a few
+//! repeats) keeps the workspace free of external benchmark frameworks; run
+//! with `cargo bench -p lmerge-bench`.
+//!
+//! Results are printed progressively and also persisted as
+//! `target/bench-results/BENCH_micro.json` (one record per case, with
+//! `throughput_eps = 1e9 / ns-per-element`). `LMERGE_BENCH_QUICK=1`
+//! shrinks sizes and repeats for CI smoke runs.
 
-use lmerge_bench::{variants, VariantKind};
+use lmerge_bench::report::MetricsRecord;
+use lmerge_bench::{variants, Report, VariantKind};
 use lmerge_gen::{generate, GenConfig};
 use lmerge_temporal::reconstitute::Reconstituter;
 use lmerge_temporal::{Element, StreamId, Value};
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Run `f` a few times and report the best per-element cost in ns.
-fn time_per_element(label: &str, elements: usize, mut f: impl FnMut() -> u64) {
-    const REPEATS: usize = 5;
+/// Whether the CI smoke mode is on.
+fn quick_mode() -> bool {
+    std::env::var("LMERGE_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Pick the full or the smoke-sized parameter.
+fn sized(full: usize, quick: usize) -> usize {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+fn repeats() -> usize {
+    if quick_mode() {
+        2
+    } else {
+        5
+    }
+}
+
+/// Record one case: progressive line, table row, and JSON metric.
+fn record(report: &mut Report, label: &str, ns: f64) {
+    println!("{label:<44} {ns:>9.1} ns/element");
+    report.row(&[label.to_string(), format!("{ns:.1}")]);
+    report.metric(
+        label,
+        MetricsRecord {
+            throughput_eps: if ns > 0.0 { 1e9 / ns } else { 0.0 },
+            ..Default::default()
+        },
+    );
+}
+
+/// Run `f` a few times and return the best per-element cost in ns.
+fn time_per_element(elements: usize, mut f: impl FnMut() -> u64) -> f64 {
     let mut best = f64::INFINITY;
     let mut sink = 0u64;
-    for _ in 0..REPEATS {
+    for _ in 0..repeats() {
         let start = Instant::now();
         sink = sink.wrapping_add(f());
         let ns = start.elapsed().as_nanos() as f64 / elements as f64;
         best = best.min(ns);
     }
     black_box(sink);
-    println!("{label:<44} {best:>9.1} ns/element");
+    best
 }
 
-fn bench_inserts() {
+fn bench_inserts(report: &mut Report) {
     let cfg = GenConfig {
-        num_events: 10_000,
+        num_events: sized(10_000, 2_000),
         disorder: 0.0,
         disorder_window_ms: 0,
         stable_freq: 0.01,
@@ -44,7 +85,7 @@ fn bench_inserts() {
 
     println!("\n== merge_10k_ordered_elements ==");
     for v in variants() {
-        time_per_element(v.label(), stream.len(), || {
+        let ns = time_per_element(stream.len(), || {
             let mut lm = v.build(2);
             let mut out = Vec::new();
             for e in &stream {
@@ -53,13 +94,14 @@ fn bench_inserts() {
             }
             lm.stats().inserts_out
         });
+        record(report, &format!("ordered/{}", v.label()), ns);
     }
 }
 
-fn bench_adjust_heavy() {
+fn bench_adjust_heavy(report: &mut Report) {
     // Insert + two adjusts per event: the revision-heavy R3/R4 regime.
     let mut elems: Vec<Element<Value>> = Vec::new();
-    for i in 0..5_000i64 {
+    for i in 0..sized(5_000, 1_000) as i64 {
         let p = Value::synthetic((i % 400) as i32, 100);
         elems.push(Element::insert(p.clone(), i, i + 100));
         elems.push(Element::adjust(p.clone(), i, i + 100, i + 50));
@@ -70,7 +112,7 @@ fn bench_adjust_heavy() {
     }
     println!("\n== merge_adjust_heavy ==");
     for v in [VariantKind::R3Plus, VariantKind::R3Minus, VariantKind::R4] {
-        time_per_element(v.label(), elems.len(), || {
+        let ns = time_per_element(elems.len(), || {
             let mut lm = v.build(1);
             let mut out = Vec::new();
             for e in &elems {
@@ -79,14 +121,15 @@ fn bench_adjust_heavy() {
             }
             lm.stats().adjusts_out
         });
+        record(report, &format!("adjust_heavy/{}", v.label()), ns);
     }
 }
 
-fn bench_stable_processing() {
+fn bench_stable_processing(report: &mut Report) {
     // Cost of one stable() over a populated in2t index.
     println!("\n== r3_stable_over_live_index ==");
-    for w in [1_000usize, 10_000] {
-        time_per_element(&format!("w={w}"), w, || {
+    for w in [sized(1_000, 500), sized(10_000, 2_000)] {
+        let ns = time_per_element(w, || {
             let mut lm = VariantKind::R3Plus.build(1);
             let mut out = Vec::new();
             for i in 0..w as i64 {
@@ -100,30 +143,177 @@ fn bench_stable_processing() {
             lm.push(StreamId(0), &Element::stable(2 * w as i64), &mut out);
             out.len() as u64
         });
+        record(report, &format!("stable/w={w}"), ns);
     }
 }
 
-fn bench_reconstitution() {
+fn bench_stable_sweep(report: &mut Report) {
+    // The hot sweep path: high StableFreq over a large live window. Every
+    // stable visits ~`nodes` kept nodes (their Ve lies far in the future),
+    // so the per-node sweep cost dominates. Pre-refactor, this path cloned
+    // every live payload per stable and re-looked each key up; reported
+    // cost is ns per swept node.
+    let nodes = sized(10_000, 1_000);
+    let stables = sized(200, 20);
+    println!("\n== stable_sweep_{nodes}_live_nodes ==");
+    for v in [VariantKind::R3Plus, VariantKind::R4] {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats() {
+            let mut lm = v.build(1);
+            let mut out = Vec::new();
+            // Live window: every node's end time is far beyond the stables.
+            for i in 0..nodes as i64 {
+                lm.push(
+                    StreamId(0),
+                    &Element::insert(Value::bare(i as i32), i, i + 100_000_000),
+                    &mut out,
+                );
+                out.clear();
+            }
+            let start = Instant::now();
+            for k in 0..stables as i64 {
+                lm.push(
+                    StreamId(0),
+                    &Element::stable(nodes as i64 + 1 + k),
+                    &mut out,
+                );
+                out.clear();
+            }
+            let ns = start.elapsed().as_nanos() as f64 / (stables * nodes) as f64;
+            best = best.min(ns);
+        }
+        record(report, &format!("stable_sweep/{}", v.label()), best);
+    }
+}
+
+fn bench_sweep_vs_clone(report: &mut Report) {
+    // Index-level head-to-head: the in-place sweep against the legacy
+    // access pattern it replaced (clone every half-frozen key out, then
+    // re-look each node up). Same index, same visit set; reported cost is
+    // ns per visited node.
+    use lmerge_core::in2t::In2t;
+    use lmerge_core::SweepAction;
+    use lmerge_temporal::Time;
+    let nodes = sized(10_000, 1_000);
+    let rounds = sized(100, 10);
+    let t = Time(nodes as i64 + 1);
+    let build = || {
+        let mut ix: In2t<Value> = In2t::new();
+        for i in 0..nodes as i64 {
+            let node = ix.add_node(Time(i), Value::synthetic(i as i32, 100));
+            node.set_input(StreamId(0), Time(i + 100_000_000));
+            ix.note_entry_added();
+        }
+        ix
+    };
+    println!("\n== in2t_half_frozen_visit ({nodes} nodes) ==");
+    let mut best_sweep = f64::INFINITY;
+    let mut best_clone = f64::INFINITY;
+    for _ in 0..repeats() {
+        let mut ix = build();
+        let start = Instant::now();
+        for _ in 0..rounds {
+            ix.sweep_half_frozen(t, |_, _, node| {
+                black_box(node);
+                SweepAction::Keep
+            });
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (rounds * nodes) as f64;
+        best_sweep = best_sweep.min(ns);
+
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for (vs, p) in ix.half_frozen_keys(t) {
+                black_box(ix.get_mut(vs, &p).expect("node live"));
+            }
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (rounds * nodes) as f64;
+        best_clone = best_clone.min(ns);
+    }
+    record(report, "sweep_api/in_place", best_sweep);
+    record(report, "sweep_api/clone_relookup", best_clone);
+    println!(
+        "{:<44} {:>9.2}x",
+        "sweep_api speedup",
+        best_clone / best_sweep
+    );
+}
+
+fn bench_batch_discard(report: &mut Report) {
+    // The catching-up replica: input 1 replays an already-frozen prefix in
+    // batches. `push_batch` discards each batch in O(1) from the per-batch
+    // `Vs` range; the per-element path walks every element.
+    let batch_len = sized(1_000, 200);
+    let batches = sized(100, 10);
+    let batch: Vec<Element<Value>> = (0..batch_len as i64)
+        .map(|i| Element::insert(Value::bare(i as i32), i, i + 5))
+        .collect();
+    println!("\n== lagging_input_discard ({batches}x{batch_len}) ==");
+    for v in [VariantKind::R3Plus, VariantKind::R4] {
+        for (mode, batched) in [("batched", true), ("per_element", false)] {
+            let mut best = f64::INFINITY;
+            for _ in 0..repeats() {
+                let mut lm = v.build(2);
+                let mut out = Vec::new();
+                // Freeze far past the batch's Vs range; the index empties.
+                lm.push(StreamId(0), &Element::stable(1_000_000), &mut out);
+                out.clear();
+                let start = Instant::now();
+                for _ in 0..batches {
+                    if batched {
+                        lm.push_batch(StreamId(1), black_box(&batch), &mut out);
+                    } else {
+                        for e in &batch {
+                            lm.push(StreamId(1), black_box(e), &mut out);
+                        }
+                    }
+                    out.clear();
+                }
+                let ns = start.elapsed().as_nanos() as f64 / (batches * batch_len) as f64;
+                best = best.min(ns);
+            }
+            record(report, &format!("discard/{}/{mode}", v.label()), best);
+        }
+    }
+}
+
+fn bench_reconstitution(report: &mut Report) {
     let cfg = GenConfig {
-        num_events: 10_000,
+        num_events: sized(10_000, 2_000),
         payload_len: 100,
         event_duration_ms: 1_000,
         ..Default::default()
     };
     let stream = generate(&cfg).elements;
     println!("\n== reconstitute_10k ==");
-    time_per_element("tdb", stream.len(), || {
+    let ns = time_per_element(stream.len(), || {
         let mut r: Reconstituter<Value> = Reconstituter::new();
         for e in &stream {
             r.apply(black_box(e)).unwrap();
         }
         r.tdb().len() as u64
     });
+    record(report, "reconstitute/tdb", ns);
 }
 
 fn main() {
-    bench_inserts();
-    bench_adjust_heavy();
-    bench_stable_processing();
-    bench_reconstitution();
+    let mut report = Report::new(
+        "micro",
+        "Per-element operator costs (best-of-N, ns/element)",
+        &["case", "ns/element"],
+    );
+    bench_inserts(&mut report);
+    bench_adjust_heavy(&mut report);
+    bench_stable_processing(&mut report);
+    bench_stable_sweep(&mut report);
+    bench_sweep_vs_clone(&mut report);
+    bench_batch_discard(&mut report);
+    bench_reconstitution(&mut report);
+    println!();
+    report.note(if quick_mode() {
+        "quick mode (LMERGE_BENCH_QUICK): reduced sizes and repeats"
+    } else {
+        "full mode"
+    });
+    report.emit();
 }

@@ -6,7 +6,7 @@
 //! inputs); LMR3− much higher and degrading linearly with inputs.
 
 use crate::report::{fmt_bytes, MetricsRecord};
-use crate::{drive_wallclock, scale_events, variants, Report};
+use crate::{bench_threads, drive_wallclock, run_points, scale_events, variants, Report};
 use lmerge_gen::timing::add_lag;
 use lmerge_gen::{assign_times, generate, GenConfig};
 
@@ -33,12 +33,19 @@ pub fn ordered_workload(events: usize) -> GenConfig {
     }
 }
 
-/// Run the sweep.
+/// Run the sweep serially (test entry point).
 pub fn run(events: usize) -> Fig2 {
+    run_with_threads(events, 1)
+}
+
+/// Run the sweep, one worker per input-count point. Rows and metric labels
+/// are assembled in point order, so the report is laid out exactly as a
+/// serial run's.
+pub fn run_with_threads(events: usize, threads: usize) -> Fig2 {
+    const INPUTS: [usize; 5] = [2, 4, 6, 8, 10];
     let reference = generate(&ordered_workload(events));
-    let mut rows = Vec::new();
-    let mut metrics = Vec::new();
-    for n in [2usize, 4, 6, 8, 10] {
+    let points = run_points(INPUTS.len(), threads, |pi| {
+        let n = INPUTS[pi];
         // Identical ordered copies, each lagging 2 ms more than the last —
         // close enough that every copy overlaps the live window.
         let timed: Vec<_> = (0..n)
@@ -49,6 +56,7 @@ pub fn run(events: usize) -> Fig2 {
             })
             .collect();
         let mut cells = Vec::new();
+        let mut metrics = Vec::new();
         for v in variants() {
             let mut lm = v.build(n);
             let run = drive_wallclock(lm.as_mut(), &timed);
@@ -58,7 +66,13 @@ pub fn run(events: usize) -> Fig2 {
                 MetricsRecord::from_wallclock(&run),
             ));
         }
+        (n, cells, metrics)
+    });
+    let mut rows = Vec::new();
+    let mut metrics = Vec::new();
+    for (n, cells, m) in points {
         rows.push((n, cells));
+        metrics.extend(m);
     }
     Fig2 { rows, metrics }
 }
@@ -66,7 +80,7 @@ pub fn run(events: usize) -> Fig2 {
 /// Build the printable report.
 pub fn report() -> Report {
     let events = scale_events(20_000);
-    let result = run(events);
+    let result = run_with_threads(events, bench_threads());
     let mut report = Report::new(
         "fig2",
         "Memory vs #inputs, in-order streams (peak bytes)",
@@ -106,5 +120,22 @@ mod tests {
         for (_, cells) in &r.rows {
             assert!(cells[4] > cells[3]);
         }
+    }
+
+    #[test]
+    fn parallel_run_is_deterministic() {
+        // Everything except measured timing must be byte-identical between
+        // a serial and a 4-worker run: row order, memory cells, metric
+        // labels, memory and chattiness fields.
+        let serial = run_with_threads(1_500, 1);
+        let parallel = run_with_threads(1_500, 4);
+        assert_eq!(serial.rows, parallel.rows);
+        let deterministic = |f: &Fig2| {
+            f.metrics
+                .iter()
+                .map(|(label, m)| (label.clone(), m.peak_memory_bytes, m.chattiness_adjusts))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(deterministic(&serial), deterministic(&parallel));
     }
 }

@@ -6,7 +6,7 @@
 
 use crate::figs::fig2::ordered_workload;
 use crate::report::{fmt_eps, MetricsRecord};
-use crate::{drive_wallclock, scale_events, variants, Report};
+use crate::{bench_threads, drive_wallclock, run_points, scale_events, variants, Report};
 use lmerge_gen::timing::add_lag;
 use lmerge_gen::{assign_times, generate};
 
@@ -18,14 +18,21 @@ pub struct Fig3 {
     pub metrics: Vec<(String, MetricsRecord)>,
 }
 
-/// Run the sweep.
+/// Run the sweep serially (test entry point — timing-shape assertions need
+/// points measured without concurrent interference).
 pub fn run(events: usize) -> Fig3 {
+    run_with_threads(events, 1)
+}
+
+/// Run the sweep, one worker per input-count point; report layout matches
+/// a serial run exactly.
+pub fn run_with_threads(events: usize, threads: usize) -> Fig3 {
+    const INPUTS: [usize; 5] = [2, 4, 6, 8, 10];
     let mut cfg = ordered_workload(events);
     cfg.payload_len = 100;
     let reference = generate(&cfg);
-    let mut rows = Vec::new();
-    let mut metrics = Vec::new();
-    for n in [2usize, 4, 6, 8, 10] {
+    let points = run_points(INPUTS.len(), threads, |pi| {
+        let n = INPUTS[pi];
         let timed: Vec<_> = (0..n)
             .map(|i| {
                 let mut t = assign_times(&reference.elements, 50_000.0);
@@ -34,6 +41,7 @@ pub fn run(events: usize) -> Fig3 {
             })
             .collect();
         let mut cells = Vec::new();
+        let mut metrics = Vec::new();
         for v in variants() {
             let mut lm = v.build(n);
             let run = drive_wallclock(lm.as_mut(), &timed);
@@ -43,7 +51,13 @@ pub fn run(events: usize) -> Fig3 {
                 MetricsRecord::from_wallclock(&run),
             ));
         }
+        (n, cells, metrics)
+    });
+    let mut rows = Vec::new();
+    let mut metrics = Vec::new();
+    for (n, cells, m) in points {
         rows.push((n, cells));
+        metrics.extend(m);
     }
     Fig3 { rows, metrics }
 }
@@ -51,7 +65,7 @@ pub fn run(events: usize) -> Fig3 {
 /// Build the printable report.
 pub fn report() -> Report {
     let events = scale_events(20_000);
-    let result = run(events);
+    let result = run_with_threads(events, bench_threads());
     let mut report = Report::new(
         "fig3",
         "Throughput vs #inputs, in-order streams (output events/s, wall clock)",

@@ -7,7 +7,7 @@
 //! streams. … throughput gains are higher if more streams are lagging."
 
 use crate::report::MetricsRecord;
-use crate::{drive_wallclock, scale_events, Report, VariantKind};
+use crate::{bench_threads, drive_wallclock, run_points, scale_events, Report, VariantKind};
 use lmerge_gen::timing::add_lag;
 use lmerge_gen::{assign_times, diverge, generate, DivergenceConfig, GenConfig};
 
@@ -38,8 +38,15 @@ fn workload(events: usize) -> GenConfig {
     }
 }
 
-/// Run the lag sweep.
+/// Run the lag sweep serially (test entry point — the shape assertions
+/// compare timing between points, so they avoid concurrent interference).
 pub fn run(events: usize) -> Vec<Fig5Row> {
+    run_with_threads(events, 1)
+}
+
+/// Run the lag sweep, one worker per lag point; row order matches serial.
+pub fn run_with_threads(events: usize, threads: usize) -> Vec<Fig5Row> {
+    const LAGS: [u64; 6] = [0, 1, 2, 3, 4, 5];
     let reference = generate(&workload(events));
     let div = DivergenceConfig::default();
     let copies: Vec<_> = (0..3)
@@ -47,8 +54,8 @@ pub fn run(events: usize) -> Vec<Fig5Row> {
         .collect();
     let rate = 50_000.0;
 
-    let mut rows = Vec::new();
-    for lag_s in [0u64, 1, 2, 3, 4, 5] {
+    run_points(LAGS.len(), threads, |pi| {
+        let lag_s = LAGS[pi];
         let measure = |lagging: usize| {
             let timed: Vec<_> = copies
                 .iter()
@@ -65,21 +72,20 @@ pub fn run(events: usize) -> Vec<Fig5Row> {
             MetricsRecord::from_wallclock(&drive_wallclock(lm.as_mut(), &timed))
         };
         let (rec_one, rec_two) = (measure(1), measure(2));
-        rows.push(Fig5Row {
+        Fig5Row {
             lag_s,
             eps_one_lagging: rec_one.throughput_eps,
             eps_two_lagging: rec_two.throughput_eps,
             rec_one,
             rec_two,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Build the printable report.
 pub fn report() -> Report {
     let events = scale_events(20_000);
-    let rows = run(events);
+    let rows = run_with_threads(events, bench_threads());
     let mut report = Report::new(
         "fig5",
         "Throughput vs stream lag (LMR3+, 3 inputs, 20% disorder)",

@@ -7,7 +7,7 @@
 //! affected."
 
 use crate::report::MetricsRecord;
-use crate::{drive_wallclock, scale_events, Report, VariantKind};
+use crate::{bench_threads, drive_wallclock, run_points, scale_events, Report, VariantKind};
 use lmerge_gen::timing::add_lag;
 use lmerge_gen::{assign_times, generate, GenConfig};
 
@@ -23,10 +23,17 @@ pub struct Fig6Row {
     pub records: [MetricsRecord; 3],
 }
 
-/// Run the StableFreq sweep (ordered workload so every variant can run).
+/// Run the StableFreq sweep serially (test entry point).
 pub fn run(events: usize) -> Vec<Fig6Row> {
-    let mut rows = Vec::new();
-    for stable_freq in [0.00001, 0.0001, 0.001, 0.01] {
+    run_with_threads(events, 1)
+}
+
+/// Run the StableFreq sweep, one worker per frequency point (each point
+/// generates its own workload, so the whole point parallelizes).
+pub fn run_with_threads(events: usize, threads: usize) -> Vec<Fig6Row> {
+    const FREQS: [f64; 4] = [0.00001, 0.0001, 0.001, 0.01];
+    run_points(FREQS.len(), threads, |pi| {
+        let stable_freq = FREQS[pi];
         let cfg = GenConfig {
             num_events: events,
             disorder: 0.0,
@@ -59,20 +66,19 @@ pub fn run(events: usize) -> Vec<Fig6Row> {
             eps[i] = run.throughput_eps();
             records[i] = MetricsRecord::from_wallclock(&run);
         }
-        rows.push(Fig6Row {
+        Fig6Row {
             stable_freq,
             memory,
             eps,
             records,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Build the printable report.
 pub fn report() -> Report {
     let events = scale_events(20_000);
-    let rows = run(events);
+    let rows = run_with_threads(events, bench_threads());
     let mut report = Report::new(
         "fig6",
         "Memory and throughput vs StableFreq (2 inputs)",

@@ -22,7 +22,9 @@
 
 pub mod figs;
 pub mod harness;
+pub mod parallel;
 pub mod report;
 
 pub use harness::{build_divergent_inputs, drive_wallclock, scale_events, variants, VariantKind};
+pub use parallel::{bench_threads, run_points};
 pub use report::Report;

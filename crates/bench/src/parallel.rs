@@ -1,0 +1,110 @@
+//! A small work-queue runner for figure data points.
+//!
+//! Each figure is a sweep over independent data points (input counts, lag
+//! values, stable frequencies). The points share no state — every one
+//! builds its own operator and drives its own timed copies — so they can
+//! run on scoped worker threads pulling indices from a shared cursor.
+//!
+//! Results are returned **in index order** regardless of which worker
+//! finished when, so reports assembled from them (row order, metric labels,
+//! JSON layout) are identical to a serial run; only the wall-clock timing
+//! fields, which vary run to run even serially, can differ. Set
+//! `LMERGE_BENCH_THREADS=1` to force serial measurement when timing
+//! interference between concurrent points matters more than latency.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count for figure sweeps: `LMERGE_BENCH_THREADS` if set (min 1),
+/// otherwise the machine's available parallelism.
+pub fn bench_threads() -> usize {
+    std::env::var("LMERGE_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Evaluate `f(0..n)` on up to `threads` scoped workers and return the
+/// results in index order. Workers claim indices from an atomic cursor, so
+/// uneven point costs balance automatically. `threads <= 1` (or a single
+/// point) degenerates to a plain serial map with no thread setup at all.
+pub fn run_points<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in per_worker.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|v| v.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let serial: Vec<usize> = (0..17).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(run_points(17, threads, |i| i * i), serial);
+        }
+    }
+
+    #[test]
+    fn handles_more_threads_than_points() {
+        assert_eq!(run_points(2, 16, |i| i), vec![0, 1]);
+        assert_eq!(run_points(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn balances_uneven_costs() {
+        // Point 0 is slow; the cursor must let other workers drain the rest.
+        let out = run_points(8, 4, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i + 1
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn threads_env_floor_is_one() {
+        assert!(bench_threads() >= 1);
+    }
+}

@@ -175,7 +175,13 @@ impl Report {
     /// compact record as `BENCH_<id>.json`.
     pub fn emit(&self) {
         println!("{}", self.render());
-        let dir = PathBuf::from("target/bench-results");
+        // Anchor on the workspace target dir: `cargo bench` runs with the
+        // package dir as cwd, `cargo run` with the caller's cwd — a
+        // relative path would scatter artefacts between the two.
+        let dir = std::env::var_os("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target"))
+            .join("bench-results");
         if std::fs::create_dir_all(&dir).is_ok() {
             let _ = std::fs::write(
                 dir.join(format!("{}.json", self.id)),

@@ -4,6 +4,73 @@ use crate::stats::{InputCounters, MergeStats};
 use lmerge_properties::RLevel;
 use lmerge_temporal::{Element, Payload, StreamId, Time};
 
+/// Per-batch summary computed in one pass: element-kind counts and the
+/// `Vs` range of the data elements. Producers (the engine's `Query`)
+/// compute it once per batch; consumers use it to hoist per-batch
+/// invariants out of the per-element loop — most importantly the O(1)
+/// frozen-prefix discard of [`LogicalMerge::push_batch`]: a batch with no
+/// punctuation whose `max_vs` lies below both the operator's `MaxStable`
+/// and the index's smallest live `Vs` can be dropped whole, since every
+/// element would individually resolve to "stale, no node".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchMeta {
+    /// Insert elements in the batch.
+    pub inserts: u32,
+    /// Adjust elements in the batch.
+    pub adjusts: u32,
+    /// Stable (punctuation) elements in the batch.
+    pub stables: u32,
+    /// Smallest `Vs` among data elements (`Time::INFINITY` if none).
+    pub min_vs: Time,
+    /// Largest `Vs` among data elements (`Time::MIN` if none).
+    pub max_vs: Time,
+}
+
+impl Default for BatchMeta {
+    fn default() -> BatchMeta {
+        BatchMeta {
+            inserts: 0,
+            adjusts: 0,
+            stables: 0,
+            min_vs: Time::INFINITY,
+            max_vs: Time::MIN,
+        }
+    }
+}
+
+impl BatchMeta {
+    /// Summarize a batch in a single pass.
+    pub fn of<P: Payload>(elements: &[Element<P>]) -> BatchMeta {
+        let mut meta = BatchMeta::default();
+        for e in elements {
+            match e {
+                Element::Insert(ev) => {
+                    meta.inserts += 1;
+                    meta.min_vs = meta.min_vs.min(ev.vs);
+                    meta.max_vs = meta.max_vs.max(ev.vs);
+                }
+                Element::Adjust { vs, .. } => {
+                    meta.adjusts += 1;
+                    meta.min_vs = meta.min_vs.min(*vs);
+                    meta.max_vs = meta.max_vs.max(*vs);
+                }
+                Element::Stable(_) => meta.stables += 1,
+            }
+        }
+        meta
+    }
+
+    /// Data (insert + adjust) elements in the batch.
+    pub fn data(&self) -> u32 {
+        self.inserts + self.adjusts
+    }
+
+    /// Whether the batch carries punctuation.
+    pub fn has_stable(&self) -> bool {
+        self.stables > 0
+    }
+}
+
 /// A Logical Merge operator: `n` physically divergent, logically consistent
 /// inputs in, one compatible stream out.
 ///
@@ -15,6 +82,19 @@ pub trait LogicalMerge<P: Payload> {
     /// Feed one element from input `input`; output elements are appended to
     /// `out`. Elements from detached inputs are ignored.
     fn push(&mut self, input: StreamId, element: &Element<P>, out: &mut Vec<Element<P>>);
+
+    /// Feed a whole batch from input `input`. Semantically identical to
+    /// pushing each element in order (the default does exactly that), but
+    /// implementations override it to pay per-batch rather than per-element
+    /// costs: one dynamic dispatch, hoisted input gating, and — for the
+    /// indexed variants — an O(1) discard of batches from lagging inputs
+    /// whose entire `Vs` range is already settled (the catching-up-replica
+    /// scenario behind the paper's Figure 5).
+    fn push_batch(&mut self, input: StreamId, elements: &[Element<P>], out: &mut Vec<Element<P>>) {
+        for e in elements {
+            self.push(input, e, out);
+        }
+    }
 
     /// Attach a new input stream that is guaranteed correct for every event
     /// with `Ve ≥ join_time` (Section V-B). Returns its id. Pass

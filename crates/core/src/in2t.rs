@@ -8,8 +8,20 @@
 //! hash table mapping each input stream (and the output pseudo-stream) to
 //! its current `Ve` for the event.
 
+use crate::mem::hash_table_bytes;
 use lmerge_temporal::{Payload, StreamId, Time};
 use std::collections::{BTreeMap, HashMap};
+
+/// Verdict returned by a sweep visitor for each visited node: keep it in
+/// the index, or retire (remove) it as settled. Shared by [`In2t`] and
+/// [`crate::in3t::In3t`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepAction {
+    /// The node stays live (it still has unfrozen end times).
+    Keep,
+    /// The node is fully settled; remove it during the walk.
+    Retire,
+}
 
 /// Per-key node: one shared event, per-stream current end times.
 ///
@@ -160,11 +172,56 @@ impl<P: Payload> In2t<P> {
 
     /// Collect the keys of all nodes with `Vs < t` (cloned so the caller can
     /// mutate the index while walking them).
+    ///
+    /// Prefer [`In2t::sweep_half_frozen`] on hot paths: this form clones
+    /// every payload below `t` and forces the caller into a second lookup
+    /// per key. It is retained for tests and diagnostic tooling.
     pub fn half_frozen_keys(&self, t: Time) -> Vec<(Time, P)> {
         self.tiers
             .range(..t)
             .flat_map(|(vs, m)| m.keys().map(move |p| (*vs, p.clone())))
             .collect()
+    }
+
+    /// Visit every node with `Vs < t` (the paper's `FindHalfFrozen`) exactly
+    /// once, in `Vs` order, with mutable access — the allocation-free
+    /// replacement for [`In2t::half_frozen_keys`] + re-lookup. Nodes for
+    /// which the visitor returns [`SweepAction::Retire`] are unlinked during
+    /// the walk with full bookkeeping; no payload is cloned and no key is
+    /// looked up twice.
+    pub fn sweep_half_frozen<F>(&mut self, t: Time, mut visit: F)
+    where
+        F: FnMut(Time, &P, &mut Node) -> SweepAction,
+    {
+        let In2t {
+            tiers,
+            nodes,
+            payload_bytes,
+            entries,
+        } = self;
+        let mut emptied = false;
+        for (vs, tier) in tiers.range_mut(..t) {
+            tier.retain(|payload, node| match visit(*vs, payload, node) {
+                SweepAction::Keep => true,
+                SweepAction::Retire => {
+                    *nodes -= 1;
+                    *payload_bytes -= payload.heap_bytes();
+                    *entries -= node.per_input.len();
+                    false
+                }
+            });
+            emptied |= tier.is_empty();
+        }
+        if emptied {
+            tiers.retain(|_, m| !m.is_empty());
+        }
+    }
+
+    /// The smallest live `Vs` in the index, if any — an O(log n) lower
+    /// bound that lets callers discard whole stale batches without probing
+    /// each element (no node can exist below this timestamp).
+    pub fn min_live_vs(&self) -> Option<Time> {
+        self.tiers.keys().next().copied()
     }
 
     /// Drop every per-input entry belonging to `s` (stream detach).
@@ -178,16 +235,18 @@ impl<P: Payload> In2t<P> {
         }
     }
 
-    /// Estimated memory: tree/hash structure plus shared payloads plus
-    /// per-input entries.
+    /// Estimated memory: tree structure, the per-`Vs` tier hash tables
+    /// (bucket arrays modelled by [`hash_table_bytes`]), shared payloads,
+    /// and per-input entries.
     pub fn memory_bytes(&self) -> usize {
         const TIER_OVERHEAD: usize = 48; // BTree node amortized per key
-        const NODE_OVERHEAD: usize = std::mem::size_of::<Node>() + 32;
         const ENTRY_BYTES: usize = std::mem::size_of::<(u32, Time)>() + 16;
-        self.tiers.len() * TIER_OVERHEAD
-            + self.nodes * (NODE_OVERHEAD + std::mem::size_of::<P>())
-            + self.payload_bytes
-            + self.entries * ENTRY_BYTES
+        let tables: usize = self
+            .tiers
+            .values()
+            .map(|m| hash_table_bytes(m.len(), std::mem::size_of::<(P, Node)>()))
+            .sum();
+        self.tiers.len() * TIER_OVERHEAD + tables + self.payload_bytes + self.entries * ENTRY_BYTES
     }
 }
 
@@ -249,6 +308,72 @@ mod tests {
         let node = ix.get(Time(1), &"A").unwrap();
         assert!(!node.has_input(StreamId(0)));
         assert!(node.has_input(StreamId(1)));
+    }
+
+    #[test]
+    fn sweep_visits_in_vs_order_and_retires_in_place() {
+        let mut ix: In2t<&str> = In2t::new();
+        ix.add_node(Time(1), "A").set_input(StreamId(0), Time(3));
+        ix.note_entry_added();
+        ix.add_node(Time(5), "B").set_input(StreamId(0), Time(90));
+        ix.note_entry_added();
+        ix.add_node(Time(9), "C");
+        let mut seen = Vec::new();
+        ix.sweep_half_frozen(Time(6), |vs, p, node| {
+            seen.push((vs, *p));
+            if node.input_ve(StreamId(0)).unwrap_or(vs) < Time(6) {
+                SweepAction::Retire
+            } else {
+                SweepAction::Keep
+            }
+        });
+        assert_eq!(seen, vec![(Time(1), "A"), (Time(5), "B")]);
+        assert!(ix.get(Time(1), &"A").is_none(), "A retired");
+        assert!(ix.get(Time(5), &"B").is_some(), "B kept");
+        assert_eq!(ix.len(), 2);
+        assert_eq!(ix.min_live_vs(), Some(Time(5)), "empty tier unlinked");
+    }
+
+    #[test]
+    fn sweep_can_mutate_kept_nodes() {
+        let mut ix: In2t<&str> = In2t::new();
+        ix.add_node(Time(1), "A").set_input(StreamId(0), Time(50));
+        ix.note_entry_added();
+        ix.sweep_half_frozen(Time(10), |_, _, node| {
+            node.output_ve = Some(Time(50));
+            SweepAction::Keep
+        });
+        assert_eq!(ix.get(Time(1), &"A").unwrap().output_ve, Some(Time(50)));
+    }
+
+    #[test]
+    fn min_live_vs_tracks_smallest_tier() {
+        let mut ix: In2t<&str> = In2t::new();
+        assert_eq!(ix.min_live_vs(), None);
+        ix.add_node(Time(7), "A");
+        ix.add_node(Time(3), "B");
+        assert_eq!(ix.min_live_vs(), Some(Time(3)));
+        ix.remove(Time(3), &"B");
+        assert_eq!(ix.min_live_vs(), Some(Time(7)));
+    }
+
+    #[test]
+    fn memory_accounts_for_tier_hash_tables() {
+        use crate::mem::hash_table_bytes;
+        // Known shape: 10 nodes in one tier, no per-input entries, static
+        // payloads (zero heap bytes) — the estimate is pinned exactly.
+        let mut ix: In2t<&'static str> = In2t::new();
+        let keys = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"];
+        for k in keys {
+            ix.add_node(Time(1), k);
+        }
+        let expected = 48 + hash_table_bytes(10, std::mem::size_of::<(&str, Node)>());
+        assert_eq!(ix.memory_bytes(), expected);
+        // 10 entries need a 16-bucket table under the 7/8 load factor.
+        assert_eq!(
+            hash_table_bytes(10, std::mem::size_of::<(&str, Node)>()),
+            16 * (std::mem::size_of::<(&str, Node)>() + 1)
+        );
     }
 
     #[test]

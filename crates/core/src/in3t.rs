@@ -5,6 +5,8 @@
 //! `Ve` per stream with a small ordered map `Ve → count` per stream (the
 //! paper uses a red-black tree with counts).
 
+use crate::in2t::SweepAction;
+use crate::mem::hash_table_bytes;
 use lmerge_temporal::{Payload, StreamId, Time};
 use std::collections::{BTreeMap, HashMap};
 
@@ -151,11 +153,49 @@ impl<P: Payload> In3t<P> {
     }
 
     /// Keys of all nodes with `Vs < t`, cloned for safe mutation.
+    ///
+    /// Prefer [`In3t::sweep_half_frozen`] on hot paths: this form clones
+    /// every payload below `t`. Retained for tests and diagnostics.
     pub fn half_frozen_keys(&self, t: Time) -> Vec<(Time, P)> {
         self.tiers
             .range(..t)
             .flat_map(|(vs, m)| m.keys().map(move |p| (*vs, p.clone())))
             .collect()
+    }
+
+    /// Visit every node with `Vs < t` exactly once, in `Vs` order, with
+    /// mutable access; nodes the visitor retires are unlinked during the
+    /// walk. The allocation-free replacement for
+    /// [`In3t::half_frozen_keys`] + per-key re-lookup.
+    pub fn sweep_half_frozen<F>(&mut self, t: Time, mut visit: F)
+    where
+        F: FnMut(Time, &P, &mut Node) -> SweepAction,
+    {
+        let In3t {
+            tiers,
+            nodes,
+            payload_bytes,
+        } = self;
+        let mut emptied = false;
+        for (vs, tier) in tiers.range_mut(..t) {
+            tier.retain(|payload, node| match visit(*vs, payload, node) {
+                SweepAction::Keep => true,
+                SweepAction::Retire => {
+                    *nodes -= 1;
+                    *payload_bytes -= payload.heap_bytes();
+                    false
+                }
+            });
+            emptied |= tier.is_empty();
+        }
+        if emptied {
+            tiers.retain(|_, m| !m.is_empty());
+        }
+    }
+
+    /// The smallest live `Vs` in the index, if any (batch-discard bound).
+    pub fn min_live_vs(&self) -> Option<Time> {
+        self.tiers.keys().next().copied()
     }
 
     /// Drop all state belonging to stream `s` (detach).
@@ -167,23 +207,25 @@ impl<P: Payload> In3t<P> {
         }
     }
 
-    /// Estimated memory: structure plus shared payloads plus per-stream
-    /// `Ve` tree entries.
+    /// Estimated memory: tree structure, the per-`Vs` tier hash tables and
+    /// each node's per-stream hash table (bucket arrays modelled by
+    /// [`hash_table_bytes`]), shared payloads, and per-stream `Ve` tree
+    /// entries.
     pub fn memory_bytes(&self) -> usize {
         const TIER_OVERHEAD: usize = 48;
-        const NODE_OVERHEAD: usize = std::mem::size_of::<Node>() + 32;
         const VE_ENTRY: usize = std::mem::size_of::<(Time, usize)>() + 16;
         let mut entries = 0usize;
+        let mut tables = 0usize;
         for m in self.tiers.values() {
+            tables += hash_table_bytes(m.len(), std::mem::size_of::<(P, Node)>());
             for node in m.values() {
+                tables +=
+                    hash_table_bytes(node.per_input.len(), std::mem::size_of::<(u32, VeCounts)>());
                 entries += node.output.len();
                 entries += node.per_input.values().map(BTreeMap::len).sum::<usize>();
             }
         }
-        self.tiers.len() * TIER_OVERHEAD
-            + self.nodes * (NODE_OVERHEAD + std::mem::size_of::<P>())
-            + self.payload_bytes
-            + entries * VE_ENTRY
+        self.tiers.len() * TIER_OVERHEAD + tables + self.payload_bytes + entries * VE_ENTRY
     }
 }
 
@@ -233,6 +275,44 @@ mod tests {
         ix.entry(Time(1), &"A");
         ix.entry(Time(8), &"B");
         assert_eq!(ix.half_frozen_keys(Time(5)), vec![(Time(1), "A")]);
+    }
+
+    #[test]
+    fn sweep_retires_in_place_with_bookkeeping() {
+        let mut ix: In3t<&str> = In3t::new();
+        ix.entry(Time(1), &"A").increment(StreamId(0), Time(3));
+        ix.entry(Time(5), &"B").increment(StreamId(0), Time(90));
+        ix.entry(Time(9), &"C");
+        let mut seen = Vec::new();
+        ix.sweep_half_frozen(Time(6), |vs, p, node| {
+            seen.push((vs, *p));
+            if node.max_ve(StreamId(0)).is_none_or(|m| m < Time(6)) {
+                SweepAction::Retire
+            } else {
+                SweepAction::Keep
+            }
+        });
+        assert_eq!(seen, vec![(Time(1), "A"), (Time(5), "B")]);
+        assert_eq!(ix.len(), 2, "A retired, B and C live");
+        assert!(ix.get(Time(1), &"A").is_none());
+        assert_eq!(ix.min_live_vs(), Some(Time(5)));
+    }
+
+    #[test]
+    fn memory_accounts_for_hash_tables() {
+        use crate::mem::hash_table_bytes;
+        let mut ix: In3t<&'static str> = In3t::new();
+        let n = ix.entry(Time(1), &"A");
+        n.increment(StreamId(0), Time(5));
+        n.increment(StreamId(1), Time(6));
+        n.out_increment(Time(5));
+        // One tier table (1 node), one per-input table (2 streams), three
+        // Ve entries (two input, one output) — pinned exactly.
+        let expected = 48
+            + hash_table_bytes(1, std::mem::size_of::<(&str, Node)>())
+            + hash_table_bytes(2, std::mem::size_of::<(u32, VeCounts)>())
+            + 3 * (std::mem::size_of::<(Time, usize)>() + 16);
+        assert_eq!(ix.memory_bytes(), expected);
     }
 
     #[test]

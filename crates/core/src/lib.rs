@@ -28,6 +28,7 @@ pub mod api;
 pub mod in2t;
 pub mod in3t;
 pub mod inputs;
+pub mod mem;
 pub mod merge;
 pub mod policy;
 pub mod r0;
@@ -39,7 +40,9 @@ pub mod r4;
 pub mod select;
 pub mod stats;
 
-pub use api::LogicalMerge;
+pub use api::{BatchMeta, LogicalMerge};
+pub use in2t::SweepAction;
+pub use mem::hash_table_bytes;
 pub use merge::{merge_streams, Interleave};
 pub use policy::{AdjustPolicy, InsertPolicy, MergePolicy, StablePolicy};
 pub use r0::LMergeR0;

@@ -1,0 +1,46 @@
+//! Deterministic memory estimation helpers shared by the index structures.
+//!
+//! The paper's memory figures (2, 6, 7) compare *retained state*, so the
+//! estimates must be stable across runs and platforms. Rather than querying
+//! `HashMap::capacity` (an implementation detail that may drift between
+//! standard-library versions), we model the table allocation from the entry
+//! count alone, following hashbrown's actual growth policy.
+
+/// Estimated heap bytes of a `std::collections::HashMap` holding `len`
+/// entries of `entry_bytes` each (key + value, as stored in the table).
+///
+/// hashbrown allocates a power-of-two bucket array (minimum 4) sized so the
+/// load factor stays at or below 7/8, plus one control byte per bucket. An
+/// empty map holds no allocation at all.
+pub fn hash_table_bytes(len: usize, entry_bytes: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let mut buckets = 4usize;
+    while len > buckets * 7 / 8 {
+        buckets *= 2;
+    }
+    buckets * (entry_bytes + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_is_free() {
+        assert_eq!(hash_table_bytes(0, 56), 0);
+    }
+
+    #[test]
+    fn growth_follows_seven_eighths_load_factor() {
+        // 4 buckets hold up to 3 entries; 8 hold 7; 16 hold 14.
+        assert_eq!(hash_table_bytes(1, 10), 4 * 11);
+        assert_eq!(hash_table_bytes(3, 10), 4 * 11);
+        assert_eq!(hash_table_bytes(4, 10), 8 * 11);
+        assert_eq!(hash_table_bytes(7, 10), 8 * 11);
+        assert_eq!(hash_table_bytes(8, 10), 16 * 11);
+        assert_eq!(hash_table_bytes(14, 10), 16 * 11);
+        assert_eq!(hash_table_bytes(15, 10), 32 * 11);
+    }
+}

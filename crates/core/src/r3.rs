@@ -8,8 +8,8 @@
 //! otherwise freeze it — which is what yields the paper's Theorem 1
 //! non-chattiness bound.
 
-use crate::api::LogicalMerge;
-use crate::in2t::In2t;
+use crate::api::{BatchMeta, LogicalMerge};
+use crate::in2t::{In2t, SweepAction};
 use crate::inputs::Inputs;
 use crate::policy::{AdjustPolicy, InsertPolicy, MergePolicy};
 use crate::stats::{InputCounters, MergeStats, PerInput};
@@ -101,27 +101,30 @@ impl<P: Payload> LMergeR3<P> {
             }
             Some(node) => {
                 // Line 12: another input already brought the event; just
-                // record this stream's view of its end time.
+                // record this stream's view of its end time. A pending
+                // Quorum policy may now be satisfied — all on the one
+                // lookup's borrow, with bookkeeping deferred past it.
                 let was_new = node.set_input(s, e.ve);
-                if was_new {
-                    self.index.note_entry_added();
-                }
-                // A pending Quorum policy may now be satisfied.
-                let node = self.index.get_mut(e.vs, &e.payload).expect("node exists");
+                let mut emit_now = false;
                 if node.output_ve.is_none() {
-                    let emit_now = match self.policy.insert {
+                    emit_now = match self.policy.insert {
                         InsertPolicy::Quorum(k) => node.support() >= k,
                         InsertPolicy::FollowLeader => self.leader.is_none_or(|l| l == s),
                         _ => false,
                     };
                     if emit_now {
                         node.output_ve = Some(e.ve);
-                        self.stats.inserts_out += 1;
-                        out.push(Element::Insert(e.clone()));
-                        return;
                     }
                 }
-                self.stats.dropped += 1;
+                if was_new {
+                    self.index.note_entry_added();
+                }
+                if emit_now {
+                    self.stats.inserts_out += 1;
+                    out.push(Element::Insert(e.clone()));
+                } else {
+                    self.stats.dropped += 1;
+                }
             }
         }
     }
@@ -140,14 +143,13 @@ impl<P: Payload> LMergeR3<P> {
             self.stats.dropped += 1;
             return;
         };
-        if node.set_input(s, ve) {
-            self.index.note_entry_added();
-        }
+        let was_new = node.set_input(s, ve);
         // Location 1 (Section V-A): the default policy absorbs the adjust;
         // the eager policy reflects it immediately when doing so cannot
-        // contradict the output's stable point.
+        // contradict the output's stable point. Either way the node is
+        // touched exactly once — no second lookup.
+        let mut emitted = None;
         if self.policy.adjust == AdjustPolicy::Eager {
-            let node = self.index.get_mut(vs, payload).expect("node exists");
             if let Some(out_ve) = node.output_ve {
                 // The new end must itself respect the output's stable point
                 // (a removal counts as legal only while Vs is unfrozen).
@@ -161,10 +163,16 @@ impl<P: Payload> LMergeR3<P> {
                     // output entirely: the node reverts to "not emitted"
                     // so later activity may legally re-insert it.
                     node.output_ve = if ve == vs { None } else { Some(ve) };
-                    self.stats.adjusts_out += 1;
-                    out.push(Element::adjust(payload.clone(), vs, out_ve, ve));
+                    emitted = Some(out_ve);
                 }
             }
+        }
+        if was_new {
+            self.index.note_entry_added();
+        }
+        if let Some(out_ve) = emitted {
+            self.stats.adjusts_out += 1;
+            out.push(Element::adjust(payload.clone(), vs, out_ve, ve));
         }
     }
 
@@ -175,9 +183,12 @@ impl<P: Payload> LMergeR3<P> {
             return;
         }
         // Lines 17–27: reconcile every node that is (or becomes) half frozen
-        // with the view of the stream that is driving progress.
-        for (vs, payload) in self.index.half_frozen_keys(t) {
-            let node = self.index.get_mut(vs, &payload).expect("key just scanned");
+        // with the view of the stream that is driving progress. One in-place
+        // sweep: no payload clones, no per-key re-lookup, retirement during
+        // the walk.
+        let max_stable = self.max_stable;
+        let stats = &mut self.stats;
+        self.index.sweep_half_frozen(t, |vs, payload, node| {
             // Line 20: if the driving stream lacks the event entirely, its
             // effective end time is Vs — i.e. the event does not exist.
             let in_ve = node.input_ve(s).unwrap_or(vs);
@@ -186,9 +197,9 @@ impl<P: Payload> LMergeR3<P> {
             // inputs always satisfy this; the guard protects the output if
             // an input lies.
             let legal = if in_ve == vs {
-                vs >= self.max_stable
+                vs >= max_stable
             } else {
-                in_ve >= self.max_stable
+                in_ve >= max_stable
             };
             match node.output_ve {
                 Some(out_ve) => {
@@ -196,16 +207,16 @@ impl<P: Payload> LMergeR3<P> {
                     // divergence is about to become unfixable.
                     if legal && in_ve != out_ve && (in_ve < t || out_ve < t) {
                         node.output_ve = Some(in_ve);
-                        self.stats.adjusts_out += 1;
+                        stats.adjusts_out += 1;
                         out.push(Element::adjust(payload.clone(), vs, out_ve, in_ve));
                     }
                 }
                 None => {
                     // Deferred-insert policies: the event's existence is now
                     // settled, so it must be emitted before the stable.
-                    if in_ve != vs && vs >= self.max_stable {
+                    if in_ve != vs && vs >= max_stable {
                         node.output_ve = Some(in_ve);
-                        self.stats.inserts_out += 1;
+                        stats.inserts_out += 1;
                         out.push(Element::insert(payload.clone(), vs, in_ve));
                     }
                 }
@@ -213,9 +224,11 @@ impl<P: Payload> LMergeR3<P> {
             // Lines 26–27: fully frozen (or nonexistent) per the driving
             // stream — the node is settled and can be dropped.
             if in_ve < t {
-                self.index.remove(vs, &payload);
+                SweepAction::Retire
+            } else {
+                SweepAction::Keep
             }
-        }
+        });
         // Lines 28–29. This stream is now the leading one.
         self.leader = Some(s);
         self.max_stable = t;
@@ -251,6 +264,47 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3<P> {
                     return;
                 }
                 self.on_stable(input, *t, out);
+            }
+        }
+    }
+
+    fn push_batch(&mut self, input: StreamId, elements: &[Element<P>], out: &mut Vec<Element<P>>) {
+        if elements.is_empty() {
+            return;
+        }
+        let meta = BatchMeta::of(elements);
+        // Punctuation-bearing batches go element-by-element: stables
+        // interleave with data and per-input `last_stable` must see each one.
+        if meta.has_stable() {
+            for e in elements {
+                self.push(input, e, out);
+            }
+            return;
+        }
+        // Data-only batch: count and gate once for the whole batch.
+        self.per_input
+            .on_data_batch(input, meta.inserts as u64, meta.adjusts as u64);
+        self.stats.inserts_in += meta.inserts as u64;
+        self.stats.adjusts_in += meta.adjusts as u64;
+        if !self.inputs.accepts_data(input) {
+            return;
+        }
+        // O(1) frozen-prefix discard (the catching-up replica of Figure 5):
+        // with the whole `Vs` range below both `MaxStable` and the smallest
+        // live node, every element would individually resolve to "stale, no
+        // node" and be dropped — so drop the batch in one step.
+        if meta.max_vs < self.max_stable && self.index.min_live_vs().is_none_or(|m| meta.max_vs < m)
+        {
+            self.stats.dropped += meta.data() as u64;
+            return;
+        }
+        for e in elements {
+            match e {
+                Element::Insert(ev) => self.on_insert(input, ev, out),
+                Element::Adjust {
+                    payload, vs, ve, ..
+                } => self.on_adjust(input, payload, *vs, *ve, out),
+                Element::Stable(_) => unreachable!("data-only batch"),
             }
         }
     }

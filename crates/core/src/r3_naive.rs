@@ -11,6 +11,7 @@
 //! Figures 2 and 7 measure.
 
 use crate::api::LogicalMerge;
+use crate::in2t::SweepAction;
 use crate::inputs::Inputs;
 use crate::stats::{InputCounters, MergeStats, PerInput};
 use lmerge_properties::RLevel;
@@ -48,45 +49,44 @@ impl<P: Payload> EventIndex<P> {
         }
     }
 
-    fn remove(&mut self, vs: Time, p: &P) {
-        if let Some(m) = self.map.get_mut(&vs) {
-            if m.remove(p).is_some() {
-                self.payload_bytes -= p.heap_bytes();
-                self.entries -= 1;
-            }
-            if m.is_empty() {
-                self.map.remove(&vs);
-            }
+    /// Visit every entry with `Vs < t` once, in `Vs` order, unlinking the
+    /// ones the visitor retires — the allocation-free replacement for
+    /// cloning the half-frozen prefix out and re-removing key by key.
+    fn sweep_before<F>(&mut self, t: Time, mut visit: F)
+    where
+        F: FnMut(Time, &P, Time) -> SweepAction,
+    {
+        let EventIndex {
+            map,
+            payload_bytes,
+            entries,
+        } = self;
+        let mut emptied = false;
+        for (vs, m) in map.range_mut(..t) {
+            m.retain(|p, ve| match visit(*vs, p, *ve) {
+                SweepAction::Keep => true,
+                SweepAction::Retire => {
+                    *payload_bytes -= p.heap_bytes();
+                    *entries -= 1;
+                    false
+                }
+            });
+            emptied |= m.is_empty();
         }
-    }
-
-    /// All `(vs, payload, ve)` with `vs < t`, cloned for safe mutation.
-    fn before(&self, t: Time) -> Vec<(Time, P, Time)> {
-        self.map
-            .range(..t)
-            .flat_map(|(vs, m)| m.iter().map(move |(p, ve)| (*vs, p.clone(), *ve)))
-            .collect()
+        if emptied {
+            map.retain(|_, m| !m.is_empty());
+        }
     }
 
     /// Purge entries fully frozen by `t` (both `vs` and recorded `ve` < `t`).
     fn purge_frozen(&mut self, t: Time) {
-        let keys: Vec<Time> = self.map.range(..t).map(|(vs, _)| *vs).collect();
-        for vs in keys {
-            let m = self.map.get_mut(&vs).expect("key just scanned");
-            let dead: Vec<P> = m
-                .iter()
-                .filter(|(_, ve)| **ve < t)
-                .map(|(p, _)| p.clone())
-                .collect();
-            for p in dead {
-                m.remove(&p);
-                self.payload_bytes -= p.heap_bytes();
-                self.entries -= 1;
+        self.sweep_before(t, |_, _, ve| {
+            if ve < t {
+                SweepAction::Retire
+            } else {
+                SweepAction::Keep
             }
-            if m.is_empty() {
-                self.map.remove(&vs);
-            }
-        }
+        });
     }
 
     fn memory_bytes(&self) -> usize {
@@ -181,44 +181,54 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3Naive<P> {
                 if t <= self.max_stable {
                     return;
                 }
-                // Reconcile the output with the progress-driving input.
-                let driving = self.index_for(input).before(t);
-                let mut driven: HashMap<(Time, P), Time> = HashMap::new();
-                for (vs, p, in_ve) in driving {
-                    driven.insert((vs, p.clone()), in_ve);
-                    let out_ve = self.output.get(vs, &p);
-                    match out_ve {
-                        Some(o)
-                            if o != in_ve && (in_ve < t || o < t) && in_ve >= self.max_stable =>
-                        {
-                            self.output.set(vs, &p, in_ve);
-                            self.stats.adjusts_out += 1;
-                            out.push(Element::adjust(p.clone(), vs, o, in_ve));
+                // Reconcile the output with the progress-driving input. The
+                // input's index is read in place while the output index is
+                // mutated — split field borrows, no cloned snapshot.
+                self.index_for(input); // ensure the slot exists
+                let max_stable = self.max_stable;
+                let stats = &mut self.stats;
+                let driving = &self.per_input[input.0 as usize];
+                for (vs, m) in driving.map.range(..t) {
+                    for (p, in_ve) in m {
+                        let (vs, in_ve) = (*vs, *in_ve);
+                        match self.output.get(vs, p) {
+                            Some(o)
+                                if o != in_ve && (in_ve < t || o < t) && in_ve >= max_stable =>
+                            {
+                                self.output.set(vs, p, in_ve);
+                                stats.adjusts_out += 1;
+                                out.push(Element::adjust(p.clone(), vs, o, in_ve));
+                            }
+                            // `in_ve == vs` is a deleted event: nothing to
+                            // insert (mirrors the R3 legality guard).
+                            None if in_ve != vs && vs >= max_stable => {
+                                // The driving input has an event the output
+                                // never carried (attach/detach churn).
+                                self.output.set(vs, p, in_ve);
+                                stats.inserts_out += 1;
+                                out.push(Element::insert(p.clone(), vs, in_ve));
+                            }
+                            _ => {}
                         }
-                        None if vs >= self.max_stable => {
-                            // The driving input has an event the output never
-                            // carried (possible after attach/detach churn).
-                            self.output.set(vs, &p, in_ve);
-                            self.stats.inserts_out += 1;
-                            out.push(Element::insert(p.clone(), vs, in_ve));
-                        }
-                        _ => {}
                     }
                 }
-                // Output events the driving input lacks are spurious: delete
-                // them before freezing past their Vs.
-                for (vs, p, o) in self.output.before(t) {
-                    if !driven.contains_key(&(vs, p.clone())) && vs >= self.max_stable {
-                        self.output.remove(vs, &p);
-                        self.stats.adjusts_out += 1;
+                // One output sweep deletes spurious events (the driving
+                // input lacks them) and purges fully frozen ones.
+                self.output.sweep_before(t, |vs, p, o| {
+                    if driving.get(vs, p).is_none() && vs >= max_stable {
+                        stats.adjusts_out += 1;
                         out.push(Element::adjust(p.clone(), vs, o, vs));
+                        SweepAction::Retire
+                    } else if o < t {
+                        SweepAction::Retire
+                    } else {
+                        SweepAction::Keep
                     }
-                }
-                // Purge fully frozen entries everywhere.
+                });
+                // Purge fully frozen entries from every input index.
                 for ix in &mut self.per_input {
                     ix.purge_frozen(t);
                 }
-                self.output.purge_frozen(t);
                 self.max_stable = t;
                 self.inputs.on_stable_advance(t);
                 self.stats.stables_out += 1;

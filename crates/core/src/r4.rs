@@ -8,8 +8,9 @@
 //! (make the output's fully-frozen `Ve` buckets match the progress-driving
 //! input exactly before propagating a `stable`).
 
-use crate::api::LogicalMerge;
-use crate::in3t::In3t;
+use crate::api::{BatchMeta, LogicalMerge};
+use crate::in2t::SweepAction;
+use crate::in3t::{In3t, Node};
 use crate::inputs::Inputs;
 use crate::stats::{InputCounters, MergeStats, PerInput};
 use lmerge_properties::RLevel;
@@ -44,15 +45,16 @@ impl<P: Payload> LMergeR4<P> {
 
     /// `AdjustOutputCount`: when `(vs, payload)` first becomes half frozen,
     /// force the *number* of output events for the key to equal the number
-    /// in the progress-driving input `s`.
+    /// in the progress-driving input `s`. Operates on an already-borrowed
+    /// node so the stable sweep can call it without re-looking the key up.
     fn adjust_output_count(
-        &mut self,
-        vs: Time,
+        node: &mut Node,
         payload: &P,
+        vs: Time,
         s: StreamId,
+        stats: &mut MergeStats,
         out: &mut Vec<Element<P>>,
     ) {
-        let node = self.index.get_mut(vs, payload).expect("node exists");
         let target = node.count_of(s);
         // Too many output events: cancel, preferring buckets the input does
         // not support (largest Ve first — most speculative).
@@ -67,7 +69,7 @@ impl<P: Payload> LMergeR4<P> {
                 .map(|(ve, _)| *ve)
                 .expect("count_out > 0 implies a bucket");
             node.out_decrement(victim);
-            self.stats.adjusts_out += 1;
+            stats.adjusts_out += 1;
             out.push(Element::adjust(payload.clone(), vs, victim, vs));
         }
         // Too few: emit inserts with Ve values the input has and we lack.
@@ -81,7 +83,7 @@ impl<P: Payload> LMergeR4<P> {
                     .expect("input total exceeds output total")
             };
             node.out_increment(ve);
-            self.stats.inserts_out += 1;
+            stats.inserts_out += 1;
             out.push(Element::insert(payload.clone(), vs, ve));
         }
     }
@@ -89,17 +91,20 @@ impl<P: Payload> LMergeR4<P> {
     /// `AdjustOutput`: before a `stable(t)` freezes them, make every output
     /// `Ve` bucket with `Ve < t` hold exactly as many events as the driving
     /// input's bucket, by re-aiming surplus output events at deficit buckets
-    /// (and parking leftovers at an unfrozen `Ve`).
+    /// (and parking leftovers at an unfrozen `Ve`). Node-level like
+    /// [`LMergeR4::adjust_output_count`]; `old_stable` is the operator's
+    /// `MaxStable` before this stable began.
+    #[allow(clippy::too_many_arguments)]
     fn adjust_output(
-        &mut self,
-        vs: Time,
+        node: &mut Node,
         payload: &P,
+        vs: Time,
         s: StreamId,
         t: Time,
+        old_stable: Time,
+        stats: &mut MergeStats,
         out: &mut Vec<Element<P>>,
     ) {
-        let old_stable = self.max_stable;
-        let node = self.index.get_mut(vs, payload).expect("node exists");
         let in_counts = node.per_input.get(&s.0).cloned().unwrap_or_default();
 
         // Donor pool: output events that must move (bucket over-full in the
@@ -137,13 +142,13 @@ impl<P: Payload> LMergeR4<P> {
                     Some(ve_o) => {
                         node.out_decrement(ve_o);
                         node.out_increment(ve_d);
-                        self.stats.adjusts_out += 1;
+                        stats.adjusts_out += 1;
                         out.push(Element::adjust(payload.clone(), vs, ve_o, ve_d));
                     }
                     None if vs >= old_stable => {
                         // No event to repurpose: materialize one.
                         node.out_increment(ve_d);
-                        self.stats.inserts_out += 1;
+                        stats.inserts_out += 1;
                         out.push(Element::insert(payload.clone(), vs, ve_d));
                     }
                     None => break,
@@ -166,8 +171,51 @@ impl<P: Payload> LMergeR4<P> {
                 .unwrap_or(Time::INFINITY);
             node.out_decrement(ve_o);
             node.out_increment(target);
-            self.stats.adjusts_out += 1;
+            stats.adjusts_out += 1;
             out.push(Element::adjust(payload.clone(), vs, ve_o, target));
+        }
+    }
+
+    fn on_insert(&mut self, s: StreamId, e: &lmerge_temporal::Event<P>, out: &mut Vec<Element<P>>) {
+        // Lines 4–7: below MaxStable only an existing node may still absorb
+        // the element; a missing one was frozen and dropped. One lookup
+        // either way — `entry` is only taken on the unfrozen side.
+        let max_stable = self.max_stable;
+        let node = if e.vs < max_stable {
+            match self.index.get_mut(e.vs, &e.payload) {
+                Some(node) => node,
+                None => {
+                    self.stats.dropped += 1;
+                    return;
+                }
+            }
+        } else {
+            self.index.entry(e.vs, &e.payload)
+        };
+        node.increment(s, e.ve);
+        // Lines 9–11: output only while the key is unfrozen and this input
+        // has presented more events than we have emitted.
+        if e.vs >= max_stable && node.count_of(s) > node.count_out() {
+            node.out_increment(e.ve);
+            self.stats.inserts_out += 1;
+            out.push(Element::Insert(e.clone()));
+        } else {
+            self.stats.dropped += 1;
+        }
+    }
+
+    fn on_adjust(&mut self, s: StreamId, payload: &P, vs: Time, vold: Time, ve: Time) {
+        // Lines 13–15 (absorbed silently; output reconciled lazily).
+        let Some(node) = self.index.get_mut(vs, payload) else {
+            self.stats.dropped += 1;
+            return;
+        };
+        if node.decrement(s, vold) {
+            if ve != vs {
+                node.increment(s, ve);
+            }
+        } else {
+            self.stats.dropped += 1;
         }
     }
 
@@ -175,19 +223,24 @@ impl<P: Payload> LMergeR4<P> {
         if t <= self.max_stable {
             return;
         }
-        for (vs, payload) in self.index.half_frozen_keys(t) {
+        // One in-place sweep over the half-frozen prefix: no key clones, no
+        // re-lookups, retirement during the walk.
+        let old_stable = self.max_stable;
+        let stats = &mut self.stats;
+        self.index.sweep_half_frozen(t, |vs, payload, node| {
             // Lines 20–22: first half-freeze of the key → equalize counts.
-            if vs >= self.max_stable {
-                self.adjust_output_count(vs, &payload, s, out);
+            if vs >= old_stable {
+                Self::adjust_output_count(node, payload, vs, s, stats, out);
             }
             // Lines 23–26: make freezing buckets match exactly.
-            self.adjust_output(vs, &payload, s, t, out);
+            Self::adjust_output(node, payload, vs, s, t, old_stable, stats, out);
             // Lines 27–28: everything for the key fully frozen → drop it.
-            let node = self.index.get(vs, &payload).expect("node exists");
             if node.max_ve(s).is_none_or(|m| m < t) {
-                self.index.remove(vs, &payload);
+                SweepAction::Retire
+            } else {
+                SweepAction::Keep
             }
-        }
+        });
         self.max_stable = t;
         self.inputs.on_stable_advance(t);
         self.stats.stables_out += 1;
@@ -204,23 +257,7 @@ impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
                 if !self.inputs.accepts_data(input) {
                     return;
                 }
-                // Lines 4–7.
-                if self.index.get(e.vs, &e.payload).is_none() && e.vs < self.max_stable {
-                    self.stats.dropped += 1;
-                    return;
-                }
-                let max_stable = self.max_stable;
-                let node = self.index.entry(e.vs, &e.payload);
-                node.increment(input, e.ve);
-                // Lines 9–11: output only while the key is unfrozen and this
-                // input has presented more events than we have emitted.
-                if e.vs >= max_stable && node.count_of(input) > node.count_out() {
-                    node.out_increment(e.ve);
-                    self.stats.inserts_out += 1;
-                    out.push(Element::Insert(e.clone()));
-                } else {
-                    self.stats.dropped += 1;
-                }
+                self.on_insert(input, e, out);
             }
             Element::Adjust {
                 payload,
@@ -232,18 +269,7 @@ impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
                 if !self.inputs.accepts_data(input) {
                     return;
                 }
-                // Lines 13–15 (absorbed silently; output reconciled lazily).
-                let Some(node) = self.index.get_mut(*vs, payload) else {
-                    self.stats.dropped += 1;
-                    return;
-                };
-                if node.decrement(input, *vold) {
-                    if ve != vs {
-                        node.increment(input, *ve);
-                    }
-                } else {
-                    self.stats.dropped += 1;
-                }
+                self.on_adjust(input, payload, *vs, *vold, *ve);
             }
             Element::Stable(t) => {
                 self.stats.stables_in += 1;
@@ -251,6 +277,49 @@ impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
                     return;
                 }
                 self.on_stable(input, *t, out);
+            }
+        }
+    }
+
+    fn push_batch(&mut self, input: StreamId, elements: &[Element<P>], out: &mut Vec<Element<P>>) {
+        if elements.is_empty() {
+            return;
+        }
+        let meta = BatchMeta::of(elements);
+        // Punctuation-bearing batches go element-by-element: stables
+        // interleave with data and per-input `last_stable` must see each one.
+        if meta.has_stable() {
+            for e in elements {
+                self.push(input, e, out);
+            }
+            return;
+        }
+        // Data-only batch: count and gate once for the whole batch.
+        self.per_input
+            .on_data_batch(input, meta.inserts as u64, meta.adjusts as u64);
+        self.stats.inserts_in += meta.inserts as u64;
+        self.stats.adjusts_in += meta.adjusts as u64;
+        if !self.inputs.accepts_data(input) {
+            return;
+        }
+        // O(1) frozen-prefix discard: the whole `Vs` range is below both
+        // `MaxStable` and the smallest live node, so every element would
+        // individually resolve to "stale, no node" and be dropped.
+        if meta.max_vs < self.max_stable && self.index.min_live_vs().is_none_or(|m| meta.max_vs < m)
+        {
+            self.stats.dropped += meta.data() as u64;
+            return;
+        }
+        for e in elements {
+            match e {
+                Element::Insert(ev) => self.on_insert(input, ev, out),
+                Element::Adjust {
+                    payload,
+                    vs,
+                    vold,
+                    ve,
+                } => self.on_adjust(input, payload, *vs, *vold, *ve),
+                Element::Stable(_) => unreachable!("data-only batch"),
             }
         }
     }

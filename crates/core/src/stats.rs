@@ -122,6 +122,18 @@ impl PerInput {
         }
     }
 
+    /// Count a whole data-only batch in one step (the batched-push fast
+    /// path; punctuation-bearing batches must go through
+    /// [`PerInput::on_element`] so `last_stable` stays correct).
+    pub fn on_data_batch(&mut self, input: StreamId, inserts: u64, adjusts: u64) {
+        let i = input.0 as usize;
+        if i >= self.counters.len() {
+            self.counters.resize(i + 1, InputCounters::default());
+        }
+        self.counters[i].inserts += inserts;
+        self.counters[i].adjusts += adjusts;
+    }
+
     /// Register one newly attached input.
     pub fn on_attach(&mut self) {
         self.counters.push(InputCounters::default());

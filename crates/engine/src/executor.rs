@@ -140,13 +140,11 @@ impl<P: Payload> MergeRun<P> {
                 lmerge_ready
             };
             out.clear();
-            let mut data_in = 0u64;
-            for e in &batch.elements {
-                if !e.is_stable() {
-                    data_in += 1;
-                }
-                self.lmerge.push(StreamId(qi as u32), e, &mut out);
-            }
+            let data_in = batch.meta.data() as u64;
+            // One batched push: per-batch counting/gating, and the indexed
+            // variants' O(1) discard of wholly-frozen batches.
+            self.lmerge
+                .push_batch(StreamId(qi as u32), &batch.elements, &mut out);
             lmerge_ready =
                 start.advance(self.config.lmerge_cost_us * batch.elements.len().max(1) as u64);
             metrics.input_series[qi].add(deliver_at, data_in);

@@ -1,6 +1,7 @@
 //! A query: one timed source plus a chain of operators on a virtual core.
 
 use crate::operator::{Operator, TimedElement};
+use lmerge_core::BatchMeta;
 use lmerge_temporal::{Element, Payload, Time, VTime};
 
 /// A batch of elements a query delivers to LMerge: the outputs produced by
@@ -13,6 +14,9 @@ pub struct Batch<P> {
     pub arrival: VTime,
     /// The produced elements (possibly empty).
     pub elements: Vec<Element<P>>,
+    /// Per-batch summary (kind counts, data `Vs` range), computed once here
+    /// so downstream consumers can hoist per-batch work.
+    pub meta: BatchMeta,
 }
 
 /// One continuous query: a source, an operator chain, and a virtual core.
@@ -76,6 +80,7 @@ impl<P: Payload> Query<P> {
         Some(Batch {
             deliver_at: self.core_ready,
             arrival: te.at,
+            meta: BatchMeta::of(&elems),
             elements: elems,
         })
     }
