@@ -1,0 +1,32 @@
+//! # lmerge-chaos — deterministic fault injection for the LMerge spectrum
+//!
+//! The paper's central claim is an *availability* claim: because LMerge
+//! unifies physically divergent streams behind one logical view, the
+//! merged output survives the failure of any proper subset of its inputs.
+//! This crate turns that claim into an executable, adversarial test:
+//!
+//! - [`plan`] — a seeded [`FaultPlan`](plan::FaultPlan) DSL describing
+//!   crashes with state loss, restart-and-rejoin from scratch,
+//!   duplicated and reordered batch delivery, frozen stable points, and
+//!   stall/overflow windows, each triggered at virtual-time boundaries.
+//! - [`inject`] — a [`ChaosInjector`](inject::ChaosInjector) implementing
+//!   the engine's [`RunHooks`](lmerge_engine::RunHooks), applying the
+//!   plan during execution while continuously asserting the
+//!   `temporal::compat` oracle against the views actually delivered.
+//! - [`harness`] — the differential driver: [`run_case`](harness::run_case)
+//!   replays the *same* plan against R0–R4 and the naive baseline, checks
+//!   conformance, completion, and TDB equality, and captures the full
+//!   `lmerge-obs` trace so a seed's run can be asserted byte-identical.
+//!
+//! Everything — workloads, fault triggers, shuffles — derives from one
+//! `u64` seed, so any failure reproduces from its seed alone.
+
+pub mod harness;
+pub mod inject;
+pub mod plan;
+
+pub use harness::{
+    run_case, run_variant, CaseOutcome, ChaosConfig, Chunker, Variant, ALL_VARIANTS,
+};
+pub use inject::ChaosInjector;
+pub use plan::{Fault, FaultPlan};

@@ -1,0 +1,283 @@
+//! Seeded fault plans: what goes wrong, to whom, and when.
+//!
+//! A [`FaultPlan`] is a pure value — a seed plus a list of [`Fault`]s with
+//! virtual-time triggers — so the same plan replays byte-identically
+//! against every algorithm variant. Faults never target input 0: one clean
+//! replica always survives, which is exactly the paper's availability
+//! argument (Section I) and what guarantees every chaos run completes.
+
+use lmerge_properties::RLevel;
+use lmerge_temporal::VTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One injected failure scenario.
+///
+/// Virtual times are executor delivery times (µs); faults fire at the first
+/// virtual-time boundary at or after their trigger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The replica crashes with total state loss: it is detached and every
+    /// element it had not yet delivered is gone.
+    Crash {
+        /// The crashed input (never 0).
+        input: u32,
+        /// Crash trigger (virtual time).
+        at: VTime,
+    },
+    /// The replica crashes, then a fresh copy rejoins from scratch: the
+    /// full feed is re-delivered on a brand-new input attached at the
+    /// output's stable point. On R0–R2 this degrades to [`Fault::Crash`]
+    /// (re-presenting a stale prefix is only idempotent for the keyed,
+    /// revision-capable merges).
+    CrashRejoin {
+        /// The crashed input (never 0).
+        input: u32,
+        /// Crash trigger (virtual time).
+        at: VTime,
+        /// Rejoin trigger (virtual time, after `at`).
+        rejoin_at: VTime,
+    },
+    /// Every batch delivered in `[from, until)` arrives twice — the
+    /// at-least-once delivery failure mode. Only meaningful for merges that
+    /// deduplicate by content key (R3 and the naive baseline); elsewhere a
+    /// duplicated element is a genuinely new occurrence, so the fault
+    /// degrades to a no-op.
+    DuplicateBatches {
+        /// The affected input (never 0).
+        input: u32,
+        /// Window start (virtual time).
+        from: VTime,
+        /// Window end (virtual time).
+        until: VTime,
+    },
+    /// Batches delivered in `[from, until)` have their data elements
+    /// reordered (preserving per-`(Vs, Payload)`-key order, which keeps
+    /// adjust chains intact). Only R3/R4 accept arbitrary order; on R0–R2
+    /// the fault degrades to a no-op.
+    ReorderBatches {
+        /// The affected input (never 0).
+        input: u32,
+        /// Window start (virtual time).
+        from: VTime,
+        /// Window end (virtual time).
+        until: VTime,
+    },
+    /// From `from` onward the replica's `stable()` punctuation is silently
+    /// swallowed: its stable point freezes while its data keeps flowing —
+    /// the laggard scenario the quarantine policy exists for.
+    FreezeStable {
+        /// The affected input (never 0).
+        input: u32,
+        /// First virtual time at which punctuation is swallowed.
+        from: VTime,
+    },
+    /// The replica's deliveries freeze in `[at, until)` — a paused VM or a
+    /// wedged network, recovering afterwards with its queue intact.
+    StallInput {
+        /// The stalled input (never 0).
+        input: u32,
+        /// Stall trigger (virtual time).
+        at: VTime,
+        /// Deliveries resume at this virtual time.
+        until: VTime,
+    },
+    /// The replica's delivery queue overflows in `[from, until)`: batches
+    /// in the window are lost. Because the replica has silently lost data,
+    /// its punctuation can no longer be trusted and is swallowed from
+    /// `from` onward (a stable over lost events would poison the merge).
+    Overflow {
+        /// The affected input (never 0).
+        input: u32,
+        /// Window start (virtual time).
+        from: VTime,
+        /// Window end (virtual time).
+        until: VTime,
+    },
+}
+
+impl Fault {
+    /// The input this fault targets.
+    pub fn input(&self) -> u32 {
+        match *self {
+            Fault::Crash { input, .. }
+            | Fault::CrashRejoin { input, .. }
+            | Fault::DuplicateBatches { input, .. }
+            | Fault::ReorderBatches { input, .. }
+            | Fault::FreezeStable { input, .. }
+            | Fault::StallInput { input, .. }
+            | Fault::Overflow { input, .. } => input,
+        }
+    }
+
+    /// The fault as applied when merging at `level`: unchanged, weakened,
+    /// or `None` when the level's stream restrictions make it meaningless.
+    pub fn degrade(&self, level: RLevel) -> Option<Fault> {
+        match *self {
+            Fault::CrashRejoin { input, at, .. } if level < RLevel::R3 => {
+                Some(Fault::Crash { input, at })
+            }
+            Fault::DuplicateBatches { .. } if level != RLevel::R3 => None,
+            Fault::ReorderBatches { .. } if level < RLevel::R3 => None,
+            f => Some(f),
+        }
+    }
+
+    /// A short label for reports and trace narration.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::Crash { .. } => "crash",
+            Fault::CrashRejoin { .. } => "crash_rejoin",
+            Fault::DuplicateBatches { .. } => "duplicate_batches",
+            Fault::ReorderBatches { .. } => "reorder_batches",
+            Fault::FreezeStable { .. } => "freeze_stable",
+            Fault::StallInput { .. } => "stall",
+            Fault::Overflow { .. } => "overflow",
+        }
+    }
+}
+
+/// A seeded, replayable set of faults for one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The master seed the plan (and the injector's shuffles) derive from.
+    pub seed: u64,
+    /// The faults, in no particular order; triggers are virtual times.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults — the control arm of every differential run.
+    pub fn clean(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Derive a random plan: 1–3 faults over distinct non-zero inputs,
+    /// triggered within `[0, horizon)` virtual µs. Input 0 is never
+    /// touched, so the merged output always completes.
+    pub fn random(seed: u64, n_inputs: usize, horizon: VTime) -> FaultPlan {
+        assert!(n_inputs >= 2, "need a clean input plus at least one victim");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut victims: Vec<u32> = (1..n_inputs as u32).collect();
+        // Fisher–Yates prefix: pick distinct victims deterministically.
+        for i in 0..victims.len() {
+            let j = rng.random_range(i..victims.len());
+            victims.swap(i, j);
+        }
+        let n_faults = rng.random_range(1..=3usize.min(victims.len()));
+        let h = horizon.0.max(10);
+        let mut faults = Vec::with_capacity(n_faults);
+        for &input in victims.iter().take(n_faults) {
+            let at = VTime(rng.random_range(0..h * 3 / 4));
+            let span = rng.random_range(h / 10..=h / 2);
+            let until = VTime((at.0 + span).min(h));
+            faults.push(match rng.random_range(0..7u32) {
+                0 => Fault::Crash { input, at },
+                1 => Fault::CrashRejoin {
+                    input,
+                    at,
+                    rejoin_at: until,
+                },
+                2 => Fault::DuplicateBatches {
+                    input,
+                    from: at,
+                    until,
+                },
+                3 => Fault::ReorderBatches {
+                    input,
+                    from: at,
+                    until,
+                },
+                4 => Fault::FreezeStable { input, from: at },
+                5 => Fault::StallInput { input, at, until },
+                _ => Fault::Overflow {
+                    input,
+                    from: at,
+                    until,
+                },
+            });
+        }
+        FaultPlan { seed, faults }
+    }
+
+    /// The plan as applied at `level`: each fault degraded or dropped.
+    pub fn effective(&self, level: RLevel) -> Vec<Fault> {
+        self.faults
+            .iter()
+            .filter_map(|f| f.degrade(level))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic_and_spare_input_zero() {
+        let a = FaultPlan::random(99, 4, VTime(10_000));
+        let b = FaultPlan::random(99, 4, VTime(10_000));
+        assert_eq!(a, b, "same seed, same plan");
+        assert!(!a.faults.is_empty() && a.faults.len() <= 3);
+        assert!(a.faults.iter().all(|f| f.input() != 0));
+        let inputs: Vec<u32> = a.faults.iter().map(Fault::input).collect();
+        let mut dedup = inputs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(inputs.len(), dedup.len(), "victims are distinct");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let plans: Vec<FaultPlan> = (0..20)
+            .map(|s| FaultPlan::random(s, 4, VTime(10_000)))
+            .collect();
+        assert!(plans.windows(2).any(|w| w[0].faults != w[1].faults));
+    }
+
+    #[test]
+    fn degradation_follows_level_restrictions() {
+        let cr = Fault::CrashRejoin {
+            input: 1,
+            at: VTime(5),
+            rejoin_at: VTime(50),
+        };
+        assert_eq!(
+            cr.degrade(RLevel::R0),
+            Some(Fault::Crash {
+                input: 1,
+                at: VTime(5)
+            })
+        );
+        assert_eq!(cr.degrade(RLevel::R3), Some(cr));
+        assert_eq!(cr.degrade(RLevel::R4), Some(cr));
+
+        let dup = Fault::DuplicateBatches {
+            input: 2,
+            from: VTime(0),
+            until: VTime(10),
+        };
+        assert_eq!(dup.degrade(RLevel::R3), Some(dup));
+        assert_eq!(dup.degrade(RLevel::R4), None, "R4 counts occurrences");
+        assert_eq!(dup.degrade(RLevel::R1), None);
+
+        let ro = Fault::ReorderBatches {
+            input: 2,
+            from: VTime(0),
+            until: VTime(10),
+        };
+        assert_eq!(ro.degrade(RLevel::R2), None, "R2 requires order");
+        assert_eq!(ro.degrade(RLevel::R4), Some(ro));
+
+        let fz = Fault::FreezeStable {
+            input: 1,
+            from: VTime(0),
+        };
+        for level in [RLevel::R0, RLevel::R1, RLevel::R2, RLevel::R3, RLevel::R4] {
+            assert_eq!(fz.degrade(level), Some(fz), "freeze applies everywhere");
+        }
+    }
+}

@@ -71,6 +71,23 @@ impl BatchMeta {
     }
 }
 
+/// Externally visible lifecycle/robustness state of one input: a stable
+/// vocabulary the engine can trace without depending on operator
+/// internals. Mirrors the variants of `inputs::InputState`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputHealth {
+    /// Attached and fully trusted.
+    Active,
+    /// Attached; data usable, punctuation gated until its join time is
+    /// covered by the output stable point.
+    Joining,
+    /// Demoted by a robustness policy: data merges, punctuation ignored
+    /// until the input catches back up.
+    Quarantined,
+    /// Detached — left cleanly, crashed, or demoted past recovery.
+    Left,
+}
+
 /// A Logical Merge operator: `n` physically divergent, logically consistent
 /// inputs in, one compatible stream out.
 ///
@@ -133,6 +150,15 @@ pub trait LogicalMerge<P: Payload> {
         self.input_counters()
             .get(input.0 as usize)
             .map_or(Time::MIN, |c| c.last_stable)
+    }
+
+    /// Lifecycle/robustness state of `input` as seen by the operator. The
+    /// default reports every id as `Active`; variants with an input
+    /// registry override it so the engine can trace health transitions
+    /// (quarantine, demotion, joins, crashes).
+    fn input_health(&self, input: StreamId) -> InputHealth {
+        let _ = input;
+        InputHealth::Active
     }
 
     /// Estimated operator memory: index structures plus retained payload

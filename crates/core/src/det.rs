@@ -1,0 +1,39 @@
+//! Deterministic hash maps for the operator indexes.
+//!
+//! The chaos harness asserts that replaying the same `FaultPlan` seed
+//! yields a byte-identical observability trace. `std`'s default
+//! `RandomState` seeds every map instance differently, so two runs (or two
+//! operator instances) iterate identical entries in different orders — and
+//! the stable-sweep emission order, hence the trace, would vary between
+//! runs. `DetHashMap` pins the hasher (SipHash with fixed keys), making
+//! iteration order a pure function of the operation history.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+/// The fixed-key hasher state shared by all deterministic maps.
+pub type DetBuildHasher = BuildHasherDefault<DefaultHasher>;
+
+/// A `HashMap` whose iteration order is run-independent: identical
+/// insert/remove histories produce identical iteration orders, across
+/// instances and across processes.
+pub type DetHashMap<K, V> = HashMap<K, V, DetBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_order_is_instance_independent() {
+        let build = |keys: &[u64]| {
+            let mut m: DetHashMap<u64, u64> = DetHashMap::default();
+            for &k in keys {
+                m.insert(k, k);
+            }
+            m.keys().copied().collect::<Vec<_>>()
+        };
+        let keys: Vec<u64> = (0..1000).map(|i| i * 2_654_435_761 % 4096).collect();
+        assert_eq!(build(&keys), build(&keys));
+    }
+}

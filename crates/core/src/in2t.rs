@@ -8,9 +8,10 @@
 //! hash table mapping each input stream (and the output pseudo-stream) to
 //! its current `Ve` for the event.
 
+use crate::det::DetHashMap;
 use crate::mem::hash_table_bytes;
 use lmerge_temporal::{Payload, StreamId, Time};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Verdict returned by a sweep visitor for each visited node: keep it in
 /// the index, or retire (remove) it as settled. Shared by [`In2t`] and
@@ -86,12 +87,19 @@ impl Node {
     pub fn support(&self) -> u32 {
         self.per_input.len() as u32
     }
+
+    /// Iterate the `(input, Ve)` entries currently recorded on the node
+    /// (robustness accounting: callers decrement per-input live-entry
+    /// counters when a node retires).
+    pub fn entries(&self) -> impl Iterator<Item = (StreamId, Time)> + '_ {
+        self.per_input.iter().map(|&(id, ve)| (StreamId(id), ve))
+    }
 }
 
 /// The two-tier index: `Vs → (Payload → Node)`.
 #[derive(Debug)]
 pub struct In2t<P: Payload> {
-    tiers: BTreeMap<Time, HashMap<P, Node>>,
+    tiers: BTreeMap<Time, DetHashMap<P, Node>>,
     nodes: usize,
     /// Retained payload heap bytes (each payload stored once).
     payload_bytes: usize,

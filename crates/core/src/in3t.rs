@@ -5,10 +5,11 @@
 //! `Ve` per stream with a small ordered map `Ve → count` per stream (the
 //! paper uses a red-black tree with counts).
 
+use crate::det::DetHashMap;
 use crate::in2t::SweepAction;
 use crate::mem::hash_table_bytes;
 use lmerge_temporal::{Payload, StreamId, Time};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// `Ve → multiplicity` for one stream at one `(Vs, Payload)`.
 pub type VeCounts = BTreeMap<Time, usize>;
@@ -17,7 +18,7 @@ pub type VeCounts = BTreeMap<Time, usize>;
 #[derive(Clone, Debug, Default)]
 pub struct Node {
     /// Each input stream's live `Ve` multiset.
-    pub per_input: HashMap<u32, VeCounts>,
+    pub per_input: DetHashMap<u32, VeCounts>,
     /// The output's live `Ve` multiset (the "special key ∞" entry).
     pub output: VeCounts,
 }
@@ -94,7 +95,7 @@ impl Node {
 /// The three-tier index: `Vs → (Payload → Node)`, nodes holding `Ve` trees.
 #[derive(Debug, Default)]
 pub struct In3t<P: Payload> {
-    tiers: BTreeMap<Time, HashMap<P, Node>>,
+    tiers: BTreeMap<Time, DetHashMap<P, Node>>,
     nodes: usize,
     payload_bytes: usize,
 }

@@ -20,8 +20,23 @@ pub enum InputState {
     Active,
     /// Attached but only correct from the given timestamp onward.
     Joining(Time),
+    /// Demoted by a robustness policy: its data still merges (duplicates
+    /// are absorbed anyway) but its punctuation is ignored until it catches
+    /// back up to the output's stable point.
+    Quarantined,
     /// Detached; its elements are ignored.
     Left,
+}
+
+impl From<InputState> for crate::api::InputHealth {
+    fn from(s: InputState) -> crate::api::InputHealth {
+        match s {
+            InputState::Active => crate::api::InputHealth::Active,
+            InputState::Joining(_) => crate::api::InputHealth::Joining,
+            InputState::Quarantined => crate::api::InputHealth::Quarantined,
+            InputState::Left => crate::api::InputHealth::Left,
+        }
+    }
 }
 
 /// Registry of LMerge input streams.
@@ -66,6 +81,32 @@ impl Inputs {
                     *s = InputState::Active;
                 }
             }
+        }
+    }
+
+    /// Quarantine an active stream: keep merging its data but stop letting
+    /// its punctuation drive output progress. Only `Active` streams can be
+    /// quarantined (a joining stream's punctuation is already gated);
+    /// returns whether the transition happened.
+    pub fn quarantine(&mut self, id: StreamId) -> bool {
+        match self.states.get_mut(id.0 as usize) {
+            Some(s) if *s == InputState::Active => {
+                *s = InputState::Quarantined;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Restore a quarantined stream to active (it caught back up). Returns
+    /// whether the transition happened.
+    pub fn restore(&mut self, id: StreamId) -> bool {
+        match self.states.get_mut(id.0 as usize) {
+            Some(s) if *s == InputState::Quarantined => {
+                *s = InputState::Active;
+                true
+            }
+            _ => false,
         }
     }
 
@@ -166,5 +207,28 @@ mod tests {
         inputs.detach(id);
         inputs.on_stable_advance(Time(50));
         assert_eq!(inputs.state(id), InputState::Left);
+    }
+
+    #[test]
+    fn quarantine_gates_stable_but_not_data() {
+        let mut inputs = Inputs::new(2);
+        assert!(inputs.quarantine(StreamId(1)));
+        assert_eq!(inputs.state(StreamId(1)), InputState::Quarantined);
+        assert!(inputs.accepts_data(StreamId(1)), "data still merges");
+        assert!(!inputs.accepts_stable(StreamId(1)), "punctuation ignored");
+        assert_eq!(inputs.live(), 2, "quarantined streams stay attached");
+        assert!(inputs.restore(StreamId(1)));
+        assert!(inputs.accepts_stable(StreamId(1)));
+    }
+
+    #[test]
+    fn quarantine_and_restore_only_transition_valid_states() {
+        let mut inputs = Inputs::new(1);
+        let joining = inputs.attach(Time(100));
+        assert!(!inputs.quarantine(joining), "joining is already gated");
+        assert!(!inputs.restore(StreamId(0)), "active needs no restore");
+        inputs.detach(StreamId(0));
+        assert!(!inputs.quarantine(StreamId(0)), "left streams stay left");
+        assert!(!inputs.quarantine(StreamId(9)), "unknown ids are ignored");
     }
 }

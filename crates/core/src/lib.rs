@@ -25,6 +25,7 @@
 //! fast-forward (Section V-D) via [`LogicalMerge::feedback_point`].
 
 pub mod api;
+pub mod det;
 pub mod in2t;
 pub mod in3t;
 pub mod inputs;
@@ -40,11 +41,12 @@ pub mod r4;
 pub mod select;
 pub mod stats;
 
-pub use api::{BatchMeta, LogicalMerge};
+pub use api::{BatchMeta, InputHealth, LogicalMerge};
+pub use det::{DetBuildHasher, DetHashMap};
 pub use in2t::SweepAction;
 pub use mem::hash_table_bytes;
 pub use merge::{merge_streams, Interleave};
-pub use policy::{AdjustPolicy, InsertPolicy, MergePolicy, StablePolicy};
+pub use policy::{AdjustPolicy, InsertPolicy, MergePolicy, RobustnessPolicy, StablePolicy};
 pub use r0::LMergeR0;
 pub use r1::LMergeR1;
 pub use r2::LMergeR2;

@@ -66,6 +66,40 @@ impl StablePolicy {
     }
 }
 
+/// Runtime guards against misbehaving replicas (DESIGN.md §10). The paper
+/// assumes inputs fail cleanly (Section V-B); these knobs decide when to
+/// stop trusting one that degrades instead. Both default to off, which
+/// reproduces the paper's behaviour exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RobustnessPolicy {
+    /// Quarantine an active input whose announced stable point trails a
+    /// newly propagated output stable point by more than this margin
+    /// (application time). A quarantined input keeps contributing data —
+    /// duplicates are absorbed anyway — but its punctuation is ignored so
+    /// it cannot hold progress hostage. It is restored the moment it
+    /// announces a stable at or beyond the output's.
+    pub quarantine_lag: Option<i64>,
+    /// Demote (detach) an input once it holds more than this many live
+    /// per-input index entries — a bounded-memory guard against a replica
+    /// that floods events which never freeze.
+    pub max_live_entries: Option<u64>,
+}
+
+impl RobustnessPolicy {
+    /// Guards disabled (the default; the paper's trust-everyone model).
+    pub fn off() -> RobustnessPolicy {
+        RobustnessPolicy::default()
+    }
+
+    /// Both guards enabled.
+    pub fn guarded(quarantine_lag: i64, max_live_entries: u64) -> RobustnessPolicy {
+        RobustnessPolicy {
+            quarantine_lag: Some(quarantine_lag),
+            max_live_entries: Some(max_live_entries),
+        }
+    }
+}
+
 /// The complete policy bundle for an LMerge instance.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MergePolicy {
@@ -75,6 +109,8 @@ pub struct MergePolicy {
     pub adjust: AdjustPolicy,
     /// Stable propagation.
     pub stable: StablePolicy,
+    /// Runtime guards against misbehaving replicas.
+    pub robustness: RobustnessPolicy,
 }
 
 impl MergePolicy {
@@ -133,5 +169,16 @@ mod tests {
             InsertPolicy::WaitHalfFrozen
         );
         assert_eq!(MergePolicy::eager().adjust, AdjustPolicy::Eager);
+    }
+
+    #[test]
+    fn robustness_defaults_off() {
+        let p = MergePolicy::paper_default();
+        assert_eq!(p.robustness, RobustnessPolicy::off());
+        assert_eq!(p.robustness.quarantine_lag, None);
+        assert_eq!(p.robustness.max_live_entries, None);
+        let g = RobustnessPolicy::guarded(10, 1_000);
+        assert_eq!(g.quarantine_lag, Some(10));
+        assert_eq!(g.max_live_entries, Some(1_000));
     }
 }

@@ -6,7 +6,7 @@
 //! advances `MaxVs`; everything else is a duplicate already emitted via a
 //! faster input.
 
-use crate::api::LogicalMerge;
+use crate::api::{InputHealth, LogicalMerge};
 use crate::inputs::Inputs;
 use crate::stats::{InputCounters, MergeStats, PerInput};
 use lmerge_properties::RLevel;
@@ -98,6 +98,10 @@ impl<P: Payload> LogicalMerge<P> for LMergeR0<P> {
 
     fn input_counters(&self) -> &[InputCounters] {
         self.per_input.counters()
+    }
+
+    fn input_health(&self, input: StreamId) -> InputHealth {
+        self.inputs.state(input).into()
     }
 
     fn memory_bytes(&self) -> usize {

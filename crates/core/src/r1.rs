@@ -6,7 +6,7 @@
 //! each input has presented at the current `MaxVs`: an insert is new exactly
 //! when its input's counter catches up with the global maximum.
 
-use crate::api::LogicalMerge;
+use crate::api::{InputHealth, LogicalMerge};
 use crate::inputs::Inputs;
 use crate::stats::{InputCounters, MergeStats, PerInput};
 use lmerge_properties::RLevel;
@@ -122,6 +122,10 @@ impl<P: Payload> LogicalMerge<P> for LMergeR1<P> {
 
     fn input_counters(&self) -> &[InputCounters] {
         self.per_input.counters()
+    }
+
+    fn input_health(&self, input: StreamId) -> InputHealth {
+        self.inputs.state(input).into()
     }
 
     fn memory_bytes(&self) -> usize {

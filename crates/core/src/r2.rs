@@ -10,7 +10,7 @@
 //! is the "relaxation to handle duplicates" the paper notes is
 //! "straightforward and omitted".
 
-use crate::api::LogicalMerge;
+use crate::api::{InputHealth, LogicalMerge};
 use crate::inputs::Inputs;
 use crate::stats::{InputCounters, MergeStats, PerInput};
 use lmerge_properties::RLevel;
@@ -144,6 +144,10 @@ impl<P: Payload> LogicalMerge<P> for LMergeR2<P> {
 
     fn input_counters(&self) -> &[InputCounters] {
         self.per_input.counters()
+    }
+
+    fn input_health(&self, input: StreamId) -> InputHealth {
+        self.inputs.state(input).into()
     }
 
     fn memory_bytes(&self) -> usize {

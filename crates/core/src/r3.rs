@@ -8,9 +8,9 @@
 //! otherwise freeze it — which is what yields the paper's Theorem 1
 //! non-chattiness bound.
 
-use crate::api::{BatchMeta, LogicalMerge};
+use crate::api::{BatchMeta, InputHealth, LogicalMerge};
 use crate::in2t::{In2t, SweepAction};
-use crate::inputs::Inputs;
+use crate::inputs::{InputState, Inputs};
 use crate::policy::{AdjustPolicy, InsertPolicy, MergePolicy};
 use crate::stats::{InputCounters, MergeStats, PerInput};
 use lmerge_properties::RLevel;
@@ -43,6 +43,8 @@ pub struct LMergeR3<P: Payload> {
     per_input: PerInput,
     /// The stream that last advanced `MaxStable` (drives `FollowLeader`).
     leader: Option<StreamId>,
+    /// Live index entries held per input (robustness memory guard).
+    live_entries: Vec<u64>,
 }
 
 impl<P: Payload> LMergeR3<P> {
@@ -61,12 +63,60 @@ impl<P: Payload> LMergeR3<P> {
             stats: MergeStats::default(),
             per_input: PerInput::new(n),
             leader: None,
+            live_entries: vec![0; n],
         }
     }
 
     /// Number of live `(Vs, Payload)` nodes (the paper's `w`).
     pub fn live_nodes(&self) -> usize {
         self.index.len()
+    }
+
+    /// Live index entries currently attributed to `input` (feeds the
+    /// robustness memory guard; exposed for tests and diagnostics).
+    pub fn live_entries(&self, input: StreamId) -> u64 {
+        self.live_entries
+            .get(input.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn note_live_entry(&mut self, s: StreamId) {
+        let i = s.0 as usize;
+        if i >= self.live_entries.len() {
+            self.live_entries.resize(i + 1, 0);
+        }
+        self.live_entries[i] += 1;
+    }
+
+    /// Bounded-memory guard: demote (detach) an input once it exceeds its
+    /// live-entry budget. Checked at push/push_batch boundaries so the
+    /// per-element hot paths stay branch-light.
+    fn enforce_entry_bound(&mut self, input: StreamId) {
+        if let Some(bound) = self.policy.robustness.max_live_entries {
+            if self.live_entries(input) > bound {
+                self.detach(input);
+            }
+        }
+    }
+
+    /// Quarantine any active input whose announced stable point trails the
+    /// freshly advanced output stable `t` by more than the policy margin.
+    /// The driving stream `s` is exempt (it just proved it is current).
+    fn quarantine_laggards(&mut self, s: StreamId, t: Time) {
+        let Some(lag) = self.policy.robustness.quarantine_lag else {
+            return;
+        };
+        if t == Time::INFINITY {
+            return;
+        }
+        let threshold = t.saturating_sub(lag);
+        for (i, c) in self.per_input.counters().iter().enumerate() {
+            let id = StreamId(i as u32);
+            if id != s && c.last_stable != Time::MIN && c.last_stable < threshold {
+                self.inputs.quarantine(id);
+            }
+        }
     }
 
     fn on_insert(&mut self, s: StreamId, e: &lmerge_temporal::Event<P>, out: &mut Vec<Element<P>>) {
@@ -92,6 +142,7 @@ impl<P: Payload> LMergeR3<P> {
                     node.output_ve = Some(e.ve);
                 }
                 self.index.note_entry_added();
+                self.note_live_entry(s);
                 if emit {
                     self.stats.inserts_out += 1;
                     out.push(Element::Insert(e.clone()));
@@ -118,6 +169,7 @@ impl<P: Payload> LMergeR3<P> {
                 }
                 if was_new {
                     self.index.note_entry_added();
+                    self.note_live_entry(s);
                 }
                 if emit_now {
                     self.stats.inserts_out += 1;
@@ -169,6 +221,7 @@ impl<P: Payload> LMergeR3<P> {
         }
         if was_new {
             self.index.note_entry_added();
+            self.note_live_entry(s);
         }
         if let Some(out_ve) = emitted {
             self.stats.adjusts_out += 1;
@@ -188,6 +241,7 @@ impl<P: Payload> LMergeR3<P> {
         // the walk.
         let max_stable = self.max_stable;
         let stats = &mut self.stats;
+        let live_entries = &mut self.live_entries;
         self.index.sweep_half_frozen(t, |vs, payload, node| {
             // Line 20: if the driving stream lacks the event entirely, its
             // effective end time is Vs — i.e. the event does not exist.
@@ -224,6 +278,11 @@ impl<P: Payload> LMergeR3<P> {
             // Lines 26–27: fully frozen (or nonexistent) per the driving
             // stream — the node is settled and can be dropped.
             if in_ve < t {
+                for (id, _) in node.entries() {
+                    if let Some(c) = live_entries.get_mut(id.0 as usize) {
+                        *c = c.saturating_sub(1);
+                    }
+                }
                 SweepAction::Retire
             } else {
                 SweepAction::Keep
@@ -233,6 +292,7 @@ impl<P: Payload> LMergeR3<P> {
         self.leader = Some(s);
         self.max_stable = t;
         self.inputs.on_stable_advance(t);
+        self.quarantine_laggards(s, t);
         self.stats.stables_out += 1;
         out.push(Element::Stable(t));
     }
@@ -248,6 +308,7 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3<P> {
                     return;
                 }
                 self.on_insert(input, e, out);
+                self.enforce_entry_bound(input);
             }
             Element::Adjust {
                 payload, vs, ve, ..
@@ -257,9 +318,15 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3<P> {
                     return;
                 }
                 self.on_adjust(input, payload, *vs, *ve, out);
+                self.enforce_entry_bound(input);
             }
             Element::Stable(t) => {
                 self.stats.stables_in += 1;
+                // A quarantined input announcing a stable at or past the
+                // output's has caught back up — restore it before the gate.
+                if *t >= self.max_stable && self.inputs.state(input) == InputState::Quarantined {
+                    self.inputs.restore(input);
+                }
                 if !self.inputs.accepts_stable(input) {
                     return;
                 }
@@ -292,7 +359,13 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3<P> {
         // O(1) frozen-prefix discard (the catching-up replica of Figure 5):
         // with the whole `Vs` range below both `MaxStable` and the smallest
         // live node, every element would individually resolve to "stale, no
-        // node" and be dropped — so drop the batch in one step.
+        // node" and be dropped — so drop the batch in one step. The bound is
+        // safe against concurrent detach: `min_live_vs` is recomputed here on
+        // every call (it is the smallest tier key, not a cached value), and
+        // `purge_stream` only strips per-input entries — reconciled nodes
+        // keep their `output_ve` and stay in their tier, so a detach between
+        // batches can only *lower* the set of discardable ranges, never
+        // admit a batch whose elements a per-element drive would have kept.
         if meta.max_vs < self.max_stable && self.index.min_live_vs().is_none_or(|m| meta.max_vs < m)
         {
             self.stats.dropped += meta.data() as u64;
@@ -307,6 +380,7 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3<P> {
                 Element::Stable(_) => unreachable!("data-only batch"),
             }
         }
+        self.enforce_entry_bound(input);
     }
 
     fn attach(&mut self, join_time: Time) -> StreamId {
@@ -317,6 +391,9 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3<P> {
     fn detach(&mut self, input: StreamId) {
         self.inputs.detach(input);
         self.index.purge_stream(input);
+        if let Some(c) = self.live_entries.get_mut(input.0 as usize) {
+            *c = 0;
+        }
     }
 
     fn max_stable(&self) -> Time {
@@ -329,6 +406,10 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3<P> {
 
     fn input_counters(&self) -> &[InputCounters] {
         self.per_input.counters()
+    }
+
+    fn input_health(&self, input: StreamId) -> InputHealth {
+        self.inputs.state(input).into()
     }
 
     fn memory_bytes(&self) -> usize {
@@ -597,5 +678,88 @@ mod follow_leader_tests {
         lm.push(StreamId(0), &E::stable(10), &mut out);
         let tdb = tdb_of(&out).unwrap();
         assert_eq!(tdb.count(&"A", Time(2), Time(4)), 1, "A must not be lost");
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+
+    type E = Element<&'static str>;
+
+    #[test]
+    fn quarantine_demotes_and_restores_a_stalled_input() {
+        use crate::api::InputHealth;
+        use crate::policy::RobustnessPolicy;
+        let mut lm: LMergeR3<&str> = LMergeR3::with_policy(
+            2,
+            MergePolicy {
+                robustness: RobustnessPolicy {
+                    quarantine_lag: Some(5),
+                    max_live_entries: None,
+                },
+                ..Default::default()
+            },
+        );
+        let mut out = Vec::new();
+        lm.push(StreamId(1), &E::stable(1), &mut out);
+        lm.push(StreamId(0), &E::stable(10), &mut out);
+        assert_eq!(
+            lm.input_health(StreamId(1)),
+            InputHealth::Quarantined,
+            "stable 1 trails 10 by more than the 5-unit margin"
+        );
+        out.clear();
+        // Behind-the-frontier punctuation from quarantine stays ignored …
+        lm.push(StreamId(1), &E::stable(4), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(lm.input_health(StreamId(1)), InputHealth::Quarantined);
+        // … but its data still merges.
+        lm.push(StreamId(1), &E::insert("A", 20, 30), &mut out);
+        assert_eq!(out, vec![E::insert("A", 20, 30)]);
+        // Catching up to the output stable restores it.
+        out.clear();
+        lm.push(StreamId(1), &E::stable(12), &mut out);
+        assert_eq!(lm.input_health(StreamId(1)), InputHealth::Active);
+        assert_eq!(lm.max_stable(), Time(12));
+    }
+
+    #[test]
+    fn entry_bound_demotes_a_flooding_input() {
+        use crate::api::InputHealth;
+        use crate::policy::RobustnessPolicy;
+        let mut lm: LMergeR3<&str> = LMergeR3::with_policy(
+            2,
+            MergePolicy {
+                robustness: RobustnessPolicy {
+                    quarantine_lag: None,
+                    max_live_entries: Some(10),
+                },
+                ..Default::default()
+            },
+        );
+        let mut out = Vec::new();
+        for i in 0..20i64 {
+            lm.push(StreamId(1), &E::insert("k", i, i + 100), &mut out);
+        }
+        assert_eq!(lm.input_health(StreamId(1)), InputHealth::Left);
+        assert_eq!(lm.live_entries(StreamId(1)), 0, "state released");
+        assert_eq!(lm.input_health(StreamId(0)), InputHealth::Active);
+        // The surviving input still drives output.
+        out.clear();
+        lm.push(StreamId(0), &E::insert("x", 500, 600), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn live_entry_counters_follow_sweep_retirement() {
+        let mut lm: LMergeR3<&str> = LMergeR3::new(1);
+        let mut out = Vec::new();
+        for i in 0..5i64 {
+            lm.push(StreamId(0), &E::insert("k", i, i + 1), &mut out);
+        }
+        assert_eq!(lm.live_entries(StreamId(0)), 5);
+        lm.push(StreamId(0), &E::stable(100), &mut out);
+        assert_eq!(lm.live_entries(StreamId(0)), 0, "retired with the nodes");
     }
 }

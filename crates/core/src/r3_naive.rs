@@ -10,18 +10,19 @@
 //! input's index stores its own copy of every live payload) — the contrast
 //! Figures 2 and 7 measure.
 
-use crate::api::LogicalMerge;
+use crate::api::{InputHealth, LogicalMerge};
+use crate::det::DetHashMap;
 use crate::in2t::SweepAction;
 use crate::inputs::Inputs;
 use crate::stats::{InputCounters, MergeStats, PerInput};
 use lmerge_properties::RLevel;
 use lmerge_temporal::{Element, Payload, StreamId, Time};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// One per-stream event index: `Vs → (Payload → Ve)`, payloads owned.
 #[derive(Debug, Default)]
 struct EventIndex<P: Payload> {
-    map: BTreeMap<Time, HashMap<P, Time>>,
+    map: BTreeMap<Time, DetHashMap<P, Time>>,
     payload_bytes: usize,
     entries: usize,
 }
@@ -262,6 +263,10 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3Naive<P> {
 
     fn input_counters(&self) -> &[InputCounters] {
         self.input_tallies.counters()
+    }
+
+    fn input_health(&self, input: StreamId) -> InputHealth {
+        self.inputs.state(input).into()
     }
 
     fn memory_bytes(&self) -> usize {

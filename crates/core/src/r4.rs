@@ -8,10 +8,11 @@
 //! (make the output's fully-frozen `Ve` buckets match the progress-driving
 //! input exactly before propagating a `stable`).
 
-use crate::api::{BatchMeta, LogicalMerge};
+use crate::api::{BatchMeta, InputHealth, LogicalMerge};
 use crate::in2t::SweepAction;
 use crate::in3t::{In3t, Node};
-use crate::inputs::Inputs;
+use crate::inputs::{InputState, Inputs};
+use crate::policy::RobustnessPolicy;
 use crate::stats::{InputCounters, MergeStats, PerInput};
 use lmerge_properties::RLevel;
 use lmerge_temporal::{Element, Payload, StreamId, Time};
@@ -24,23 +25,78 @@ pub struct LMergeR4<P: Payload> {
     inputs: Inputs,
     stats: MergeStats,
     per_input: PerInput,
+    robustness: RobustnessPolicy,
+    /// Live index entries held per input (robustness memory guard).
+    live_entries: Vec<u64>,
 }
 
 impl<P: Payload> LMergeR4<P> {
     /// An R4 merge over `n` initially attached inputs.
     pub fn new(n: usize) -> LMergeR4<P> {
+        LMergeR4::with_robustness(n, RobustnessPolicy::off())
+    }
+
+    /// An R4 merge with runtime robustness guards (DESIGN.md §10).
+    pub fn with_robustness(n: usize, robustness: RobustnessPolicy) -> LMergeR4<P> {
         LMergeR4 {
             index: In3t::new(),
             max_stable: Time::MIN,
             inputs: Inputs::new(n),
             stats: MergeStats::default(),
             per_input: PerInput::new(n),
+            robustness,
+            live_entries: vec![0; n],
         }
     }
 
     /// Number of live `(Vs, Payload)` nodes.
     pub fn live_nodes(&self) -> usize {
         self.index.len()
+    }
+
+    /// Live index entries currently attributed to `input` (feeds the
+    /// robustness memory guard; exposed for tests and diagnostics).
+    pub fn live_entries(&self, input: StreamId) -> u64 {
+        self.live_entries
+            .get(input.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn note_live_entry(&mut self, s: StreamId) {
+        let i = s.0 as usize;
+        if i >= self.live_entries.len() {
+            self.live_entries.resize(i + 1, 0);
+        }
+        self.live_entries[i] += 1;
+    }
+
+    /// Bounded-memory guard: demote (detach) an input once it exceeds its
+    /// live-entry budget (checked at push/push_batch boundaries).
+    fn enforce_entry_bound(&mut self, input: StreamId) {
+        if let Some(bound) = self.robustness.max_live_entries {
+            if self.live_entries(input) > bound {
+                self.detach(input);
+            }
+        }
+    }
+
+    /// Quarantine any active input whose announced stable point trails the
+    /// freshly advanced output stable `t` by more than the policy margin.
+    fn quarantine_laggards(&mut self, s: StreamId, t: Time) {
+        let Some(lag) = self.robustness.quarantine_lag else {
+            return;
+        };
+        if t == Time::INFINITY {
+            return;
+        }
+        let threshold = t.saturating_sub(lag);
+        for (i, c) in self.per_input.counters().iter().enumerate() {
+            let id = StreamId(i as u32);
+            if id != s && c.last_stable != Time::MIN && c.last_stable < threshold {
+                self.inputs.quarantine(id);
+            }
+        }
     }
 
     /// `AdjustOutputCount`: when `(vs, payload)` first becomes half frozen,
@@ -202,6 +258,7 @@ impl<P: Payload> LMergeR4<P> {
         } else {
             self.stats.dropped += 1;
         }
+        self.note_live_entry(s);
     }
 
     fn on_adjust(&mut self, s: StreamId, payload: &P, vs: Time, vold: Time, ve: Time) {
@@ -210,12 +267,20 @@ impl<P: Payload> LMergeR4<P> {
             self.stats.dropped += 1;
             return;
         };
+        let mut removed = false;
         if node.decrement(s, vold) {
             if ve != vs {
                 node.increment(s, ve);
+            } else {
+                removed = true;
             }
         } else {
             self.stats.dropped += 1;
+        }
+        if removed {
+            if let Some(c) = self.live_entries.get_mut(s.0 as usize) {
+                *c = c.saturating_sub(1);
+            }
         }
     }
 
@@ -227,6 +292,7 @@ impl<P: Payload> LMergeR4<P> {
         // re-lookups, retirement during the walk.
         let old_stable = self.max_stable;
         let stats = &mut self.stats;
+        let live_entries = &mut self.live_entries;
         self.index.sweep_half_frozen(t, |vs, payload, node| {
             // Lines 20–22: first half-freeze of the key → equalize counts.
             if vs >= old_stable {
@@ -236,6 +302,11 @@ impl<P: Payload> LMergeR4<P> {
             Self::adjust_output(node, payload, vs, s, t, old_stable, stats, out);
             // Lines 27–28: everything for the key fully frozen → drop it.
             if node.max_ve(s).is_none_or(|m| m < t) {
+                for (id, counts) in &node.per_input {
+                    if let Some(c) = live_entries.get_mut(*id as usize) {
+                        *c = c.saturating_sub(counts.values().sum::<usize>() as u64);
+                    }
+                }
                 SweepAction::Retire
             } else {
                 SweepAction::Keep
@@ -243,6 +314,7 @@ impl<P: Payload> LMergeR4<P> {
         });
         self.max_stable = t;
         self.inputs.on_stable_advance(t);
+        self.quarantine_laggards(s, t);
         self.stats.stables_out += 1;
         out.push(Element::Stable(t));
     }
@@ -258,6 +330,7 @@ impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
                     return;
                 }
                 self.on_insert(input, e, out);
+                self.enforce_entry_bound(input);
             }
             Element::Adjust {
                 payload,
@@ -270,9 +343,15 @@ impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
                     return;
                 }
                 self.on_adjust(input, payload, *vs, *vold, *ve);
+                self.enforce_entry_bound(input);
             }
             Element::Stable(t) => {
                 self.stats.stables_in += 1;
+                // A quarantined input announcing a stable at or past the
+                // output's has caught back up — restore it before the gate.
+                if *t >= self.max_stable && self.inputs.state(input) == InputState::Quarantined {
+                    self.inputs.restore(input);
+                }
                 if !self.inputs.accepts_stable(input) {
                     return;
                 }
@@ -304,7 +383,10 @@ impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
         }
         // O(1) frozen-prefix discard: the whole `Vs` range is below both
         // `MaxStable` and the smallest live node, so every element would
-        // individually resolve to "stale, no node" and be dropped.
+        // individually resolve to "stale, no node" and be dropped. Safe
+        // against detach between batches for the same reason as in R3:
+        // `min_live_vs` is recomputed per call and `purge_stream` never
+        // removes nodes, so the bound can only tighten.
         if meta.max_vs < self.max_stable && self.index.min_live_vs().is_none_or(|m| meta.max_vs < m)
         {
             self.stats.dropped += meta.data() as u64;
@@ -322,6 +404,7 @@ impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
                 Element::Stable(_) => unreachable!("data-only batch"),
             }
         }
+        self.enforce_entry_bound(input);
     }
 
     fn attach(&mut self, join_time: Time) -> StreamId {
@@ -332,6 +415,9 @@ impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
     fn detach(&mut self, input: StreamId) {
         self.inputs.detach(input);
         self.index.purge_stream(input);
+        if let Some(c) = self.live_entries.get_mut(input.0 as usize) {
+            *c = 0;
+        }
     }
 
     fn max_stable(&self) -> Time {
@@ -344,6 +430,10 @@ impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
 
     fn input_counters(&self) -> &[InputCounters] {
         self.per_input.counters()
+    }
+
+    fn input_health(&self, input: StreamId) -> InputHealth {
+        self.inputs.state(input).into()
     }
 
     fn memory_bytes(&self) -> usize {

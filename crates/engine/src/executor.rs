@@ -17,13 +17,46 @@
 //! `enabled()` is statically `false` — monomorphizes the whole
 //! instrumentation path away.
 
+use crate::hooks::{ControlAction, FaultAction, NoHooks, RunHooks};
 use crate::metrics::{RunMetrics, Series};
 use crate::query::Query;
-use lmerge_core::LogicalMerge;
-use lmerge_obs::{ElementKind, NullSink, StableScope, TraceEvent, TraceSink};
+use lmerge_core::{BatchMeta, InputHealth, LogicalMerge};
+use lmerge_obs::{ElementKind, FaultKind, HealthTag, NullSink, StableScope, TraceEvent, TraceSink};
 use lmerge_temporal::{Element, Payload, StreamId, Time, VTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// The obs-layer tag for a merge-reported input health.
+fn tag_of(h: InputHealth) -> HealthTag {
+    match h {
+        InputHealth::Active => HealthTag::Active,
+        InputHealth::Joining => HealthTag::Joining,
+        InputHealth::Quarantined => HealthTag::Quarantined,
+        InputHealth::Left => HealthTag::Left,
+    }
+}
+
+/// Emit an `InputHealthChanged` event for every input whose merge-reported
+/// health differs from the cached view. Called at virtual-time boundaries
+/// where health can move (consumption, control actions).
+fn sync_health<P: Payload, S: TraceSink>(
+    lmerge: &dyn LogicalMerge<P>,
+    health: &mut [InputHealth],
+    trace: &mut S,
+    at: VTime,
+) {
+    for (i, cached) in health.iter_mut().enumerate() {
+        let now = lmerge.input_health(StreamId(i as u32));
+        if now != *cached {
+            *cached = now;
+            trace.record(TraceEvent::InputHealthChanged {
+                at,
+                input: i as u32,
+                health: tag_of(now),
+            });
+        }
+    }
+}
 
 /// The trace-event kind of a stream element.
 fn kind_of<P: Payload>(e: &Element<P>) -> ElementKind {
@@ -97,7 +130,21 @@ impl<P: Payload> MergeRun<P> {
     ///
     /// Pass a [`lmerge_obs::Tracer`] to capture the event ring and per-input
     /// lag gauges; the caller keeps ownership and can export afterwards.
-    pub fn run_with<S: TraceSink>(mut self, trace: &mut S) -> RunMetrics {
+    pub fn run_with<S: TraceSink>(self, trace: &mut S) -> RunMetrics {
+        self.run_with_hooks(trace, &mut NoHooks)
+    }
+
+    /// Execute to completion with a fault-injection/inspection hook.
+    ///
+    /// `hooks` sees every batch at delivery (and may drop, replace, or
+    /// delay it) and is polled for structural [`ControlAction`]s — detach,
+    /// attach, stall — at each virtual-time boundary. With the default
+    /// [`NoHooks`] this is exactly [`run_with`](Self::run_with).
+    pub fn run_with_hooks<S: TraceSink, H: RunHooks<P>>(
+        mut self,
+        trace: &mut S,
+        hooks: &mut H,
+    ) -> RunMetrics {
         let n = self.queries.len();
         let mut metrics = RunMetrics {
             input_series: vec![Series::default(); n],
@@ -127,10 +174,164 @@ impl<P: Payload> MergeRun<P> {
         // genuine advance (used only when tracing is enabled).
         let mut input_stable_hw = vec![Time::MIN; n];
         let mut output_stable_hw = Time::MIN;
+        // Per-input fault state: a dead input's queued and future batches
+        // are lost; a stalled input's staged batch is re-timed lazily.
+        let mut dead = vec![false; n];
+        let mut stalled_until = vec![VTime::ZERO; n];
+        let mut health: Vec<InputHealth> = (0..n)
+            .map(|i| self.lmerge.input_health(StreamId(i as u32)))
+            .collect();
+        let mut control: Vec<ControlAction<P>> = Vec::new();
 
         while let Some(Reverse((deliver_at, _, qi))) = heap.pop() {
-            let batch = pending[qi].take().expect("batch staged for this query");
+            let mut batch = pending[qi].take().expect("batch staged for this query");
             debug_assert_eq!(batch.deliver_at, deliver_at);
+
+            // Structural fault actions land exactly at virtual-time
+            // boundaries, before the batch at that boundary is considered.
+            if hooks.enabled() {
+                hooks.control(deliver_at, &mut control);
+                for action in control.drain(..) {
+                    match action {
+                        ControlAction::Detach(id) => {
+                            self.lmerge.detach(id);
+                            if let Some(d) = dead.get_mut(id.0 as usize) {
+                                *d = true;
+                            }
+                            if trace.enabled() {
+                                trace.record(TraceEvent::FaultInjected {
+                                    at: deliver_at,
+                                    input: id.0,
+                                    kind: FaultKind::Detach,
+                                });
+                            }
+                        }
+                        ControlAction::Attach { join_time, source } => {
+                            let id = self.lmerge.attach(join_time);
+                            let nqi = self.queries.len();
+                            debug_assert_eq!(
+                                id.0 as usize, nqi,
+                                "attached stream ids align with query indices"
+                            );
+                            let mut q = Query::passthrough(source);
+                            // The joiner's core exists only from now on.
+                            q.stall(deliver_at);
+                            self.queries.push(q);
+                            pending.push(None);
+                            dead.push(false);
+                            stalled_until.push(VTime::ZERO);
+                            health.push(self.lmerge.input_health(id));
+                            input_stable_hw.push(Time::MIN);
+                            metrics.input_series.push(Series::default());
+                            if let Some(b) = self.queries[nqi].next_batch() {
+                                heap.push(Reverse((b.deliver_at, seq, nqi)));
+                                seq += 1;
+                                pending[nqi] = Some(b);
+                            }
+                            if trace.enabled() {
+                                trace.record(TraceEvent::FaultInjected {
+                                    at: deliver_at,
+                                    input: id.0,
+                                    kind: FaultKind::Attach,
+                                });
+                            }
+                        }
+                        ControlAction::Stall { input, until } => {
+                            let i = input as usize;
+                            if i < self.queries.len() && !dead[i] {
+                                self.queries[i].stall(until);
+                                if until > stalled_until[i] {
+                                    stalled_until[i] = until;
+                                }
+                                if trace.enabled() {
+                                    trace.record(TraceEvent::FaultInjected {
+                                        at: deliver_at,
+                                        input,
+                                        kind: FaultKind::Stall,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                if trace.enabled() {
+                    sync_health(self.lmerge.as_ref(), &mut health, trace, deliver_at);
+                }
+            }
+
+            // A crashed input's queued work dies with it.
+            if dead[qi] {
+                continue;
+            }
+            // A stalled input's staged batch is re-timed to the stall end.
+            if deliver_at < stalled_until[qi] {
+                batch.deliver_at = stalled_until[qi];
+                heap.push(Reverse((batch.deliver_at, seq, qi)));
+                seq += 1;
+                pending[qi] = Some(batch);
+                continue;
+            }
+
+            // Batch-level fault actions.
+            let mut dropped = false;
+            if hooks.enabled() {
+                match hooks.on_deliver(qi as u32, deliver_at, &batch.elements) {
+                    FaultAction::Deliver => {}
+                    FaultAction::Drop => {
+                        dropped = true;
+                        if trace.enabled() {
+                            trace.record(TraceEvent::FaultInjected {
+                                at: deliver_at,
+                                input: qi as u32,
+                                kind: FaultKind::DropBatch,
+                            });
+                        }
+                    }
+                    FaultAction::Replace(elems) => {
+                        batch.meta = BatchMeta::of(&elems);
+                        batch.elements = elems;
+                        if trace.enabled() {
+                            trace.record(TraceEvent::FaultInjected {
+                                at: deliver_at,
+                                input: qi as u32,
+                                kind: FaultKind::ReplaceBatch,
+                            });
+                        }
+                    }
+                    FaultAction::Delay(until) => {
+                        if until > deliver_at {
+                            if trace.enabled() {
+                                trace.record(TraceEvent::FaultInjected {
+                                    at: deliver_at,
+                                    input: qi as u32,
+                                    kind: FaultKind::DelayBatch,
+                                });
+                            }
+                            batch.deliver_at = until;
+                            heap.push(Reverse((until, seq, qi)));
+                            seq += 1;
+                            pending[qi] = Some(batch);
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            if dropped {
+                // Skip consumption entirely; the query still produces its
+                // next batch below, so only this batch is lost.
+                if let Some(b) = self.queries[qi].next_batch() {
+                    heap.push(Reverse((b.deliver_at, seq, qi)));
+                    seq += 1;
+                    pending[qi] = Some(b);
+                } else if trace.enabled() {
+                    trace.record(TraceEvent::InputDrained {
+                        at: deliver_at,
+                        input: qi as u32,
+                    });
+                }
+                continue;
+            }
 
             // LMerge consumes the batch once it is both delivered and the
             // operator's core is free.
@@ -192,6 +393,13 @@ impl<P: Payload> MergeRun<P> {
                         scope: StableScope::Output,
                         stable: out_stable,
                     });
+                }
+            }
+
+            if hooks.enabled() {
+                hooks.on_consumed(qi as u32, lmerge_ready, &batch.elements, &out);
+                if trace.enabled() {
+                    sync_health(self.lmerge.as_ref(), &mut health, trace, lmerge_ready);
                 }
             }
 
@@ -478,6 +686,158 @@ mod tests {
         assert_eq!(plain.merge, traced.merge, "tracing must not change the run");
         assert_eq!(plain.output_complete_at, traced.output_complete_at);
         assert_eq!(plain.latency, traced.latency);
+    }
+
+    #[test]
+    fn hooks_can_crash_and_rejoin_an_input() {
+        use crate::hooks::{ControlAction, NoHooks, RunHooks};
+        use lmerge_obs::{FaultKind, Tracer};
+
+        // Input 1 crashes at vt=15 (losing its queued elements) and a
+        // replacement replica rejoins at vt=25 with the full feed.
+        struct CrashRejoin {
+            crashed: bool,
+            rejoined: bool,
+            feed: Vec<TimedElement<&'static str>>,
+        }
+        impl RunHooks<&'static str> for CrashRejoin {
+            fn enabled(&self) -> bool {
+                true
+            }
+            fn control(&mut self, at: VTime, actions: &mut Vec<ControlAction<&'static str>>) {
+                if !self.crashed && at >= VTime(15) {
+                    self.crashed = true;
+                    actions.push(ControlAction::Detach(StreamId(1)));
+                }
+                if self.crashed && !self.rejoined && at >= VTime(25) {
+                    self.rejoined = true;
+                    actions.push(ControlAction::Attach {
+                        join_time: Time::MIN,
+                        source: std::mem::take(&mut self.feed),
+                    });
+                }
+            }
+        }
+
+        let feed = |lag: u64| {
+            timed(&[
+                (lag, E::insert("a", 1, 5)),
+                (10 + lag, E::insert("b", 2, 6)),
+                (20 + lag, E::insert("c", 3, 7)),
+                (30 + lag, E::insert("d", 4, 8)),
+                (40 + lag, E::insert("e", 5, 9)),
+                (80 + lag, E::stable(Time::INFINITY)),
+            ])
+        };
+        let mut hooks = CrashRejoin {
+            crashed: false,
+            rejoined: false,
+            feed: feed(0),
+        };
+        let mut tracer = Tracer::new();
+        let m = MergeRun::new(
+            vec![Query::passthrough(feed(0)), Query::passthrough(feed(5))],
+            lmr3(2),
+            RunConfig::default(),
+        )
+        .run_with_hooks(&mut tracer, &mut hooks);
+        assert!(m.output_complete_at.is_some(), "clean input completes");
+        assert_eq!(m.merge.inserts_out, 5, "no duplicates despite rejoin");
+        let faults: Vec<FaultKind> = tracer
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::FaultInjected { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert!(faults.contains(&FaultKind::Detach), "crash traced");
+        assert!(faults.contains(&FaultKind::Attach), "rejoin traced");
+        assert!(
+            tracer
+                .events()
+                .any(|e| matches!(e, TraceEvent::InputHealthChanged { input: 1, .. })),
+            "health transition traced"
+        );
+
+        // The same topology under NoHooks is byte-for-byte the plain run.
+        let plain = MergeRun::new(
+            vec![Query::passthrough(feed(0)), Query::passthrough(feed(5))],
+            lmr3(2),
+            RunConfig::default(),
+        )
+        .run_with_hooks(&mut NullSink, &mut NoHooks);
+        let wrapper = MergeRun::new(
+            vec![Query::passthrough(feed(0)), Query::passthrough(feed(5))],
+            lmr3(2),
+            RunConfig::default(),
+        )
+        .run();
+        assert_eq!(plain.merge, wrapper.merge);
+    }
+
+    #[test]
+    fn hooks_drop_delay_and_stall_batches() {
+        use crate::hooks::{ControlAction, FaultAction, RunHooks};
+
+        // Drop input 1's first batch, delay its second, stall it afterwards;
+        // the merged output must still complete from input 0 without dupes.
+        struct Mischief {
+            seen: u32,
+            stalled: bool,
+        }
+        impl RunHooks<&'static str> for Mischief {
+            fn enabled(&self) -> bool {
+                true
+            }
+            fn on_deliver(
+                &mut self,
+                input: u32,
+                at: VTime,
+                _elements: &[Element<&'static str>],
+            ) -> FaultAction<&'static str> {
+                if input != 1 {
+                    return FaultAction::Deliver;
+                }
+                self.seen += 1;
+                match self.seen {
+                    1 => FaultAction::Drop,
+                    2 => FaultAction::Delay(at.advance(100)),
+                    _ => FaultAction::Deliver,
+                }
+            }
+            fn control(&mut self, at: VTime, actions: &mut Vec<ControlAction<&'static str>>) {
+                if !self.stalled && at >= VTime(20) {
+                    self.stalled = true;
+                    actions.push(ControlAction::Stall {
+                        input: 1,
+                        until: VTime(500),
+                    });
+                }
+            }
+        }
+
+        let feed = |lag: u64| {
+            timed(&[
+                (lag, E::insert("a", 1, 5)),
+                (10 + lag, E::insert("b", 2, 6)),
+                (20 + lag, E::insert("c", 3, 7)),
+                (30 + lag, E::stable(Time::INFINITY)),
+            ])
+        };
+        let m = MergeRun::new(
+            vec![Query::passthrough(feed(0)), Query::passthrough(feed(2))],
+            lmr3(2),
+            RunConfig::default(),
+        )
+        .run_with_hooks(
+            &mut NullSink,
+            &mut Mischief {
+                seen: 0,
+                stalled: false,
+            },
+        );
+        assert!(m.output_complete_at.is_some());
+        assert_eq!(m.merge.inserts_out, 3, "faults on a replica lose nothing");
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Run hooks: the executor's fault-injection and inspection boundary.
+//!
+//! A [`RunHooks`] implementation sees every batch at the moment of delivery
+//! and may rewrite the run — drop the batch, substitute its contents, delay
+//! it, or (via [`ControlAction`]s drained at each virtual-time boundary)
+//! detach, attach, or stall a whole input. The chaos harness
+//! (`lmerge-chaos`) builds on this to replay seeded fault plans; tests use
+//! it to observe exactly what the merge consumed and emitted.
+//!
+//! Like tracing, the hook path is statically erasable: the default
+//! [`NoHooks`] reports `enabled() == false` and the executor's
+//! monomorphized run loop skips every hook call.
+
+use crate::operator::TimedElement;
+use lmerge_temporal::{Element, Payload, StreamId, Time, VTime};
+
+/// What to do with a batch that is about to be delivered to LMerge.
+#[derive(Debug)]
+pub enum FaultAction<P> {
+    /// Deliver the batch unchanged (the default).
+    Deliver,
+    /// Discard the batch; the query's subsequent batches still flow.
+    Drop,
+    /// Deliver these elements instead of the batch's own.
+    Replace(Vec<Element<P>>),
+    /// Re-stage the batch to deliver no earlier than this virtual time.
+    /// A target at or before the scheduled time delivers unchanged.
+    Delay(VTime),
+}
+
+/// A structural change to the run, applied at a virtual-time boundary.
+#[derive(Debug)]
+pub enum ControlAction<P> {
+    /// Forcibly detach an input: the merge drops its state and every
+    /// batch still queued or yet to be produced by that query is lost.
+    Detach(StreamId),
+    /// Attach a fresh input mid-run. The executor wraps `source` in a
+    /// passthrough query; the merge sees it join at `join_time`.
+    Attach {
+        /// The join point handed to [`lmerge_core::LogicalMerge::attach`].
+        join_time: Time,
+        /// The timed feed of the joining replica.
+        source: Vec<TimedElement<P>>,
+    },
+    /// Freeze an input's deliveries until the given virtual time.
+    Stall {
+        /// The stalled input (query index).
+        input: u32,
+        /// Deliveries resume at this virtual time.
+        until: VTime,
+    },
+}
+
+/// Observer/mutator interface threaded through the executor's run loop.
+///
+/// All methods have no-op defaults, so an implementation only overrides
+/// what it needs. `enabled()` gates the whole path: when it returns
+/// `false` the executor never calls the other methods.
+pub trait RunHooks<P: Payload> {
+    /// Whether the executor should consult this hook at all.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// A batch for `input` is about to be delivered at virtual time `at`.
+    fn on_deliver(&mut self, input: u32, at: VTime, elements: &[Element<P>]) -> FaultAction<P> {
+        let _ = (input, at, elements);
+        FaultAction::Deliver
+    }
+
+    /// The merge consumed `delivered` from `input` and produced `emitted`;
+    /// `at` is the virtual time the consumption finished.
+    fn on_consumed(
+        &mut self,
+        input: u32,
+        at: VTime,
+        delivered: &[Element<P>],
+        emitted: &[Element<P>],
+    ) {
+        let _ = (input, at, delivered, emitted);
+    }
+
+    /// Collect structural actions to apply at virtual time `at`, before the
+    /// next batch is considered. Push actions into `actions`.
+    fn control(&mut self, at: VTime, actions: &mut Vec<ControlAction<P>>) {
+        let _ = (at, actions);
+    }
+}
+
+/// The statically disabled hook: the executor's default.
+pub struct NoHooks;
+
+impl<P: Payload> RunHooks<P> for NoHooks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_hooks_is_disabled_and_inert() {
+        let mut h = NoHooks;
+        assert!(!RunHooks::<&str>::enabled(&h));
+        let a = h.on_deliver(0, VTime(5), &[Element::insert("a", 1, 2)]);
+        assert!(matches!(a, FaultAction::Deliver));
+        let mut actions: Vec<ControlAction<&str>> = Vec::new();
+        h.control(VTime(5), &mut actions);
+        assert!(actions.is_empty());
+    }
+}

@@ -23,12 +23,14 @@
 //!   work that can no longer matter.
 
 pub mod executor;
+pub mod hooks;
 pub mod metrics;
 pub mod operator;
 pub mod ops;
 pub mod query;
 
 pub use executor::{MergeRun, RunConfig};
+pub use hooks::{ControlAction, FaultAction, NoHooks, RunHooks};
 pub use metrics::{RunMetrics, Series};
 pub use operator::{Operator, TimedElement};
 pub use query::Query;

@@ -101,6 +101,15 @@ impl<P: Payload> Query<P> {
     pub fn core_ready(&self) -> VTime {
         self.core_ready
     }
+
+    /// Freeze the query's core until `until`: batches not yet produced
+    /// cannot leave before that virtual time. Used by fault injection to
+    /// model a paused or wedged replica.
+    pub fn stall(&mut self, until: VTime) {
+        if until > self.core_ready {
+            self.core_ready = until;
+        }
+    }
 }
 
 #[cfg(test)]

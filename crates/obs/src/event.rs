@@ -30,6 +30,67 @@ impl ElementKind {
     }
 }
 
+/// The mechanical action an injected fault took at the executor boundary.
+///
+/// This is deliberately the *mechanism*, not the scenario: a chaos plan's
+/// "crash with rejoin" shows up in the trace as a `Detach` followed later by
+/// an `Attach`, so traces stay truthful about what actually happened to the
+/// run regardless of which higher-level fault produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A staged batch was discarded before delivery.
+    DropBatch,
+    /// A staged batch was delivered with substituted contents.
+    ReplaceBatch,
+    /// A staged batch was re-queued for a later virtual time.
+    DelayBatch,
+    /// An input was forcibly detached from the merge.
+    Detach,
+    /// An input was (re)attached to the merge mid-run.
+    Attach,
+    /// An input's delivery was frozen until a later virtual time.
+    Stall,
+}
+
+impl FaultKind {
+    /// Lower-case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::DropBatch => "drop_batch",
+            FaultKind::ReplaceBatch => "replace_batch",
+            FaultKind::DelayBatch => "delay_batch",
+            FaultKind::Detach => "detach",
+            FaultKind::Attach => "attach",
+            FaultKind::Stall => "stall",
+        }
+    }
+}
+
+/// An input's health as reported by the merge operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthTag {
+    /// Attached and trusted for both data and punctuation.
+    Active,
+    /// Attached but still before its join point.
+    Joining,
+    /// Demoted by a robustness policy: data merged, punctuation ignored.
+    Quarantined,
+    /// Detached; all elements ignored.
+    Left,
+}
+
+impl HealthTag {
+    /// Lower-case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthTag::Active => "active",
+            HealthTag::Joining => "joining",
+            HealthTag::Quarantined => "quarantined",
+            HealthTag::Left => "left",
+        }
+    }
+}
+
 /// Whose stable point advanced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StableScope {
@@ -112,6 +173,24 @@ pub enum TraceEvent {
         /// Virtual end time.
         at: VTime,
     },
+    /// A fault-injection hook altered the run at this point.
+    FaultInjected {
+        /// Virtual time of the injection.
+        at: VTime,
+        /// The affected input.
+        input: u32,
+        /// The mechanical action taken.
+        kind: FaultKind,
+    },
+    /// The merge's view of an input's health changed.
+    InputHealthChanged {
+        /// Virtual time the executor observed the transition.
+        at: VTime,
+        /// The input whose health changed.
+        input: u32,
+        /// The new health.
+        health: HealthTag,
+    },
 }
 
 impl TraceEvent {
@@ -125,7 +204,9 @@ impl TraceEvent {
             | TraceEvent::QueueDepthSampled { at, .. }
             | TraceEvent::MemorySampled { at, .. }
             | TraceEvent::InputDrained { at, .. }
-            | TraceEvent::RunCompleted { at } => at,
+            | TraceEvent::RunCompleted { at }
+            | TraceEvent::FaultInjected { at, .. }
+            | TraceEvent::InputHealthChanged { at, .. } => at,
         }
     }
 
@@ -140,6 +221,8 @@ impl TraceEvent {
             TraceEvent::MemorySampled { .. } => "memory_sampled",
             TraceEvent::InputDrained { .. } => "input_drained",
             TraceEvent::RunCompleted { .. } => "run_completed",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::InputHealthChanged { .. } => "input_health_changed",
         }
     }
 }
@@ -168,5 +251,27 @@ mod tests {
         assert_eq!(ElementKind::Insert.label(), "insert");
         assert_eq!(ElementKind::Adjust.label(), "adjust");
         assert_eq!(ElementKind::Stable.label(), "stable");
+    }
+
+    #[test]
+    fn fault_and_health_events() {
+        let f = TraceEvent::FaultInjected {
+            at: VTime(3),
+            input: 2,
+            kind: FaultKind::DropBatch,
+        };
+        assert_eq!(f.at(), VTime(3));
+        assert_eq!(f.name(), "fault_injected");
+        let h = TraceEvent::InputHealthChanged {
+            at: VTime(4),
+            input: 1,
+            health: HealthTag::Quarantined,
+        };
+        assert_eq!(h.at(), VTime(4));
+        assert_eq!(h.name(), "input_health_changed");
+        assert_eq!(FaultKind::Detach.label(), "detach");
+        assert_eq!(FaultKind::Stall.label(), "stall");
+        assert_eq!(HealthTag::Left.label(), "left");
+        assert_eq!(HealthTag::Active.label(), "active");
     }
 }

@@ -65,6 +65,12 @@ fn event_json(e: &TraceEvent) -> Json {
             obj.set("input", input);
         }
         TraceEvent::RunCompleted { .. } => {}
+        TraceEvent::FaultInjected { input, kind, .. } => {
+            obj.set("input", input).set("kind", kind.label());
+        }
+        TraceEvent::InputHealthChanged { input, health, .. } => {
+            obj.set("input", input).set("health", health.label());
+        }
     }
     obj
 }
@@ -198,6 +204,24 @@ pub fn to_chrome_trace<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> Stri
                     ts,
                     OUTPUT_TID,
                     Json::object(),
+                ));
+            }
+            TraceEvent::FaultInjected { input, kind, .. } => {
+                name_thread(&mut trace, input + 1, format!("input {input}"));
+                trace.push(chrome_instant(
+                    &format!("fault[{}]", kind.label()),
+                    ts,
+                    input + 1,
+                    Json::object().with("kind", kind.label()),
+                ));
+            }
+            TraceEvent::InputHealthChanged { input, health, .. } => {
+                name_thread(&mut trace, input + 1, format!("input {input}"));
+                trace.push(chrome_instant(
+                    &format!("health[{}]", health.label()),
+                    ts,
+                    input + 1,
+                    Json::object().with("health", health.label()),
                 ));
             }
         }
@@ -346,6 +370,16 @@ mod tests {
                 input: 0,
             },
             TraceEvent::RunCompleted { at: VTime(21) },
+            TraceEvent::FaultInjected {
+                at: VTime(22),
+                input: 1,
+                kind: crate::event::FaultKind::DropBatch,
+            },
+            TraceEvent::InputHealthChanged {
+                at: VTime(23),
+                input: 1,
+                health: crate::event::HealthTag::Quarantined,
+            },
         ]
     }
 

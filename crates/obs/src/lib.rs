@@ -54,7 +54,7 @@ pub mod lag;
 pub mod ring;
 pub mod sink;
 
-pub use event::{ElementKind, StableScope, TraceEvent};
+pub use event::{ElementKind, FaultKind, HealthTag, StableScope, TraceEvent};
 pub use hist::LogHistogram;
 pub use lag::{InputLag, LagGauges};
 pub use ring::EventRing;

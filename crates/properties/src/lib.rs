@@ -15,11 +15,16 @@
 //!   scenarios in the paper;
 //! * [`checker`] — a runtime verifier that a concrete element sequence
 //!   actually satisfies a claimed property vector (used by the generator and
-//!   test suites to keep claimed and actual properties honest).
+//!   test suites to keep claimed and actual properties honest);
+//! * [`shrink`] — a minimizing shrinker for seeded property-test failures:
+//!   binary-searches each knob of a failing case toward its floor until a
+//!   local fixpoint, so counterexamples reproduce at minimal size.
 
 pub mod checker;
 pub mod plan;
 pub mod props;
+pub mod shrink;
 
 pub use plan::{infer, PlanNode};
 pub use props::{select, Ordering, RLevel, StreamProperties};
+pub use shrink::{describe, minimize, Knob};

@@ -1,0 +1,149 @@
+//! A minimizing shrinker for seeded property-test failures.
+//!
+//! The repo's property loops drive randomized workloads from integer knobs
+//! (event count, input count, divergence windows, seeds). When a seed
+//! fails, the raw counterexample is usually far larger than it needs to
+//! be. [`minimize`] performs deterministic, replay-based shrinking: each
+//! knob is independently driven toward its minimum by binary search, and
+//! the sweep repeats until no knob can shrink further — a greedy fixpoint,
+//! the classic QuickCheck strategy adapted to knob vectors.
+//!
+//! The shrinker never mutates the failing predicate's inputs behind its
+//! back: it only re-invokes the caller's closure with candidate knob
+//! vectors, so anything reproducible from the knobs (including RNG seeds)
+//! shrinks soundly.
+
+/// One shrinkable integer dimension of a failing case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Knob {
+    /// Display name, e.g. `"events"` or `"seed"`.
+    pub name: &'static str,
+    /// Current (failing) value.
+    pub value: u64,
+    /// The smallest value worth trying (e.g. 1 event, 2 inputs).
+    pub min: u64,
+}
+
+impl Knob {
+    /// A knob at `value` that may shrink down to `min`.
+    pub fn new(name: &'static str, value: u64, min: u64) -> Knob {
+        Knob {
+            name,
+            value: value.max(min),
+            min,
+        }
+    }
+}
+
+/// Upper bound on predicate invocations during one [`minimize`] call, so a
+/// slow reproduction can't stall a test run indefinitely.
+const MAX_PROBES: usize = 256;
+
+/// Shrink a failing knob vector to a (locally) minimal one.
+///
+/// `fails(knobs)` must return `true` iff the candidate still reproduces
+/// the failure; it is first re-checked on the initial vector (a shrinker
+/// that "shrinks" a non-failure would be lying). Each knob is shrunk by
+/// binary search toward its `min` while the others stay fixed; the sweep
+/// repeats until a full pass makes no progress or the probe budget runs
+/// out. Returns the minimized vector and the number of probes spent.
+pub fn minimize<F>(mut knobs: Vec<Knob>, mut fails: F) -> (Vec<Knob>, usize)
+where
+    F: FnMut(&[Knob]) -> bool,
+{
+    let mut probes = 1;
+    if !fails(&knobs) {
+        return (knobs, probes);
+    }
+    loop {
+        let mut progressed = false;
+        for i in 0..knobs.len() {
+            // Invariant: knobs[i].value fails, everything in (value, hi]
+            // is unexplored. Binary-search the smallest failing value.
+            let mut lo = knobs[i].min;
+            while lo < knobs[i].value && probes < MAX_PROBES {
+                let mid = lo + (knobs[i].value - lo) / 2;
+                let mut candidate = knobs.clone();
+                candidate[i].value = mid;
+                probes += 1;
+                if fails(&candidate) {
+                    knobs = candidate;
+                    progressed = true;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            if probes >= MAX_PROBES {
+                return (knobs, probes);
+            }
+        }
+        if !progressed {
+            return (knobs, probes);
+        }
+    }
+}
+
+/// Render a knob vector for a failure message, e.g.
+/// `events=3 inputs=2 seed=17`.
+pub fn describe(knobs: &[Knob]) -> String {
+    knobs
+        .iter()
+        .map(|k| format!("{}={}", k.name, k.value))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_smallest_failing_value() {
+        // Fails whenever events ≥ 37: the shrinker must land exactly on 37.
+        let knobs = vec![Knob::new("events", 10_000, 1)];
+        let (min, probes) = minimize(knobs, |k| k[0].value >= 37);
+        assert_eq!(min[0].value, 37);
+        assert!(probes <= 32, "binary search, not linear: {probes} probes");
+    }
+
+    #[test]
+    fn shrinks_coupled_knobs_to_a_fixpoint() {
+        // Fails when the product is ≥ 100 — shrinking one knob constrains
+        // the other, so a single sweep is not enough.
+        let knobs = vec![Knob::new("a", 1000, 1), Knob::new("b", 1000, 1)];
+        let (min, _) = minimize(knobs, |k| k[0].value * k[1].value >= 100);
+        assert!(min[0].value * min[1].value >= 100, "still failing");
+        assert!(
+            (min[0].value - 1) * min[1].value < 100 && min[0].value * (min[1].value - 1) < 100,
+            "locally minimal: {}",
+            describe(&min)
+        );
+    }
+
+    #[test]
+    fn refuses_to_shrink_a_passing_case() {
+        let knobs = vec![Knob::new("n", 500, 0)];
+        let (out, probes) = minimize(knobs.clone(), |_| false);
+        assert_eq!(out, knobs, "non-failure comes back untouched");
+        assert_eq!(probes, 1);
+    }
+
+    #[test]
+    fn respects_knob_minimums_and_probe_budget() {
+        let knobs = vec![Knob::new("inputs", 64, 2)];
+        let (min, _) = minimize(knobs, |_| true);
+        assert_eq!(min[0].value, 2, "always-failing shrinks to the floor");
+
+        let wide: Vec<Knob> = (0..50)
+            .map(|_| Knob::new("k", u32::MAX as u64, 0))
+            .collect();
+        let (_, probes) = minimize(wide, |k| k.iter().any(|x| x.value > 0));
+        assert!(probes <= MAX_PROBES, "budget bounds the search");
+    }
+
+    #[test]
+    fn describe_formats_name_value_pairs() {
+        let knobs = vec![Knob::new("events", 3, 1), Knob::new("seed", 17, 0)];
+        assert_eq!(describe(&knobs), "events=3 seed=17");
+    }
+}

@@ -39,7 +39,11 @@
 //!   lag gauges, log-bucketed histograms, JSONL / Chrome-trace exporters.
 //! * [`gen`] — the paper's synthetic workload generator and divergence /
 //!   lag / burst / congestion models (Section VI-B).
+//! * [`chaos`] — deterministic fault injection (crash, rejoin, duplicate,
+//!   reorder, frozen stables, stalls, overflow) and the differential
+//!   conformance harness that replays one fault plan across the spectrum.
 
+pub use lmerge_chaos as chaos;
 pub use lmerge_core as core;
 pub use lmerge_engine as engine;
 pub use lmerge_gen as gen;

@@ -241,6 +241,110 @@ fn frozen_batch_discard_matches_per_element_drops() {
     assert_eq!(by_batch.input_counters(), by_element.input_counters());
 }
 
+/// Detach between batches must not change what the O(1) discard admits:
+/// purging a stream can only *shrink* the live index (raise or empty
+/// `min_live_vs`), so every batch the fast path drops after a detach is a
+/// batch whose elements the per-element path would also have dropped one
+/// by one against the purged index.
+#[test]
+fn frozen_discard_stays_sound_across_detach() {
+    let stale_a: Vec<E> = (10..45i64)
+        .map(|i| Element::insert("a", i, i + 2))
+        .collect();
+    let stale_b: Vec<E> = (20..48i64)
+        .map(|i| Element::insert("b", i, i + 2))
+        .collect();
+    let mks: [&dyn Fn() -> Box<dyn LogicalMerge<&'static str>>; 3] = [
+        &|| Box::new(LMergeR3::new(2)),
+        &|| Box::new(LMergeR3Naive::new(2)),
+        &|| Box::new(LMergeR4::new(2)),
+    ];
+    for mk in mks {
+        let drive = |batched: bool| {
+            let mut lm = mk();
+            let mut out = Vec::new();
+            // A live node held only by input 0, above the freeze point.
+            lm.push(StreamId(0), &Element::insert("hi", 60, 70), &mut out);
+            lm.push(StreamId(0), &Element::stable(50), &mut out);
+            lm.push(StreamId(1), &Element::stable(50), &mut out);
+            let preamble = out.len();
+            let feed =
+                |lm: &mut Box<dyn LogicalMerge<&'static str>>, batch: &[E], out: &mut Vec<E>| {
+                    if batched {
+                        lm.push_batch(StreamId(1), batch, out);
+                    } else {
+                        for e in batch {
+                            lm.push(StreamId(1), e, out);
+                        }
+                    }
+                };
+            // Wholly stale batch while the live node still bounds the index.
+            feed(&mut lm, &stale_a, &mut out);
+            // Detach purges input 0's live entry; the bound only tightens.
+            lm.detach(StreamId(0));
+            feed(&mut lm, &stale_b, &mut out);
+            assert_eq!(out.len(), preamble, "stale batches emit nothing");
+            (lm.stats(), lm.input_counters().to_vec(), lm.max_stable())
+        };
+        assert_eq!(drive(true), drive(false));
+    }
+}
+
+/// Full equivalence with a detach landing at a random point mid-feed: the
+/// batched and per-element drives must agree on stats, counters, output
+/// multiset, and reconstituted TDB for the indexed variants.
+#[test]
+fn detach_mid_feed_matches_per_element() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C_0003);
+    for case in 0..100 {
+        let feed = garbage_feed(&mut rng);
+        let cut = rng.random_range(0..=feed.len());
+        let split_seed = rng.next_u64();
+        let mks: [&dyn Fn() -> Box<dyn LogicalMerge<&'static str>>; 3] = [
+            &|| Box::new(LMergeR3::new(3)),
+            &|| Box::new(LMergeR3Naive::new(3)),
+            &|| Box::new(LMergeR4::new(3)),
+        ];
+        for mk in mks {
+            let mut by_element = mk();
+            let mut out_e = drive_elements(by_element.as_mut(), &feed[..cut]);
+            by_element.detach(StreamId(2));
+            out_e.extend(drive_elements(by_element.as_mut(), &feed[cut..]));
+
+            let mut split_rng = StdRng::seed_from_u64(split_seed);
+            let mut by_batch = mk();
+            let mut out_b = drive_batches(by_batch.as_mut(), &feed[..cut], &mut split_rng);
+            by_batch.detach(StreamId(2));
+            out_b.extend(drive_batches(
+                by_batch.as_mut(),
+                &feed[cut..],
+                &mut split_rng,
+            ));
+
+            assert_eq!(
+                by_element.stats(),
+                by_batch.stats(),
+                "case {case}: stats diverge after detach"
+            );
+            assert_eq!(
+                by_element.input_counters(),
+                by_batch.input_counters(),
+                "case {case}: counters diverge after detach"
+            );
+            assert_eq!(
+                sorted_debug(&out_e),
+                sorted_debug(&out_b),
+                "case {case}: output multisets diverge after detach"
+            );
+            assert_eq!(
+                tdb_fingerprint(&out_e, case, "per-element+detach"),
+                tdb_fingerprint(&out_b, case, "batched+detach"),
+                "case {case}: TDBs diverge after detach"
+            );
+        }
+    }
+}
+
 /// Same discard scenario for R4's multiset index.
 #[test]
 fn r4_frozen_batch_discard_matches() {

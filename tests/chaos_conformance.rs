@@ -1,0 +1,169 @@
+//! Differential chaos conformance: every seeded fault plan must leave
+//! every algorithm in the spectrum compatible with its delivered inputs,
+//! and the whole run must be a pure function of the seed.
+//!
+//! Three master seeds run by default (CI's smoke matrix). Set
+//! `LMERGE_CHAOS_CASES=<n>` to widen each master seed into `n` derived
+//! cases — the long-run soak mode the CI chaos job runs on a schedule.
+
+use lmerge::chaos::{run_case, run_variant, ChaosConfig, Fault, FaultPlan, Variant, ALL_VARIANTS};
+use lmerge::core::RobustnessPolicy;
+use lmerge::temporal::VTime;
+
+const MASTER_SEEDS: [u64; 3] = [0xC4A0_0001, 0xC4A0_0002, 0xC4A0_0003];
+
+/// Derived cases per master seed: 1 by default, more under
+/// `LMERGE_CHAOS_CASES` (the env-gated soak mode).
+fn cases_per_seed() -> u64 {
+    std::env::var("LMERGE_CHAOS_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|n| *n >= 1)
+        .unwrap_or(1)
+}
+
+/// Random fault plans: R0–R4 and the naive baseline each absorb the same
+/// plan (degraded per level), pass the compatibility oracle at every
+/// stable advance, complete, and reconstitute the reference TDB.
+#[test]
+fn random_fault_plans_stay_conformant_across_the_spectrum() {
+    for &master in &MASTER_SEEDS {
+        for case in 0..cases_per_seed() {
+            let seed = master.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let cfg = ChaosConfig::small(seed);
+            for o in run_case(&cfg) {
+                assert!(
+                    o.ok(),
+                    "seed={seed:#x} variant={}: violations={:?} completed={} tdb_matches={} \
+                     applied={:?}",
+                    o.variant.name(),
+                    o.violations,
+                    o.completed,
+                    o.tdb_matches,
+                    o.applied,
+                );
+                assert!(o.checks > 0, "seed={seed:#x}: oracle never ran");
+            }
+        }
+    }
+}
+
+/// Every fault scenario in the DSL, pinned one at a time, against every
+/// variant — so a regression in one fault's handling names itself.
+#[test]
+fn each_fault_scenario_passes_the_oracle_for_every_variant() {
+    let scenarios = [
+        Fault::Crash {
+            input: 1,
+            at: VTime(900),
+        },
+        Fault::CrashRejoin {
+            input: 1,
+            at: VTime(900),
+            rejoin_at: VTime(2_400),
+        },
+        Fault::DuplicateBatches {
+            input: 1,
+            from: VTime(400),
+            until: VTime(2_000),
+        },
+        Fault::ReorderBatches {
+            input: 1,
+            from: VTime(400),
+            until: VTime(2_000),
+        },
+        Fault::FreezeStable {
+            input: 1,
+            from: VTime(400),
+        },
+        Fault::StallInput {
+            input: 1,
+            at: VTime(400),
+            until: VTime(1_600),
+        },
+        Fault::Overflow {
+            input: 1,
+            from: VTime(400),
+            until: VTime(1_200),
+        },
+    ];
+    let cfg = ChaosConfig::small(0xFA01);
+    for fault in scenarios {
+        let plan = FaultPlan {
+            seed: cfg.seed,
+            faults: vec![fault],
+        };
+        for v in ALL_VARIANTS {
+            let o = run_variant(v, &cfg, &plan);
+            assert!(
+                o.ok(),
+                "{} under {}: violations={:?} completed={} tdb_matches={}",
+                v.name(),
+                fault.label(),
+                o.violations,
+                o.completed,
+                o.tdb_matches,
+            );
+        }
+    }
+}
+
+/// Determinism is the debugging contract: the same seed must reproduce
+/// the same run down to the last byte of the observability trace.
+#[test]
+fn same_seed_yields_byte_identical_traces() {
+    let cfg = ChaosConfig::small(MASTER_SEEDS[0]);
+    let plan = FaultPlan::random(cfg.seed, cfg.n_inputs, cfg.horizon());
+    for v in ALL_VARIANTS {
+        let a = run_variant(v, &cfg, &plan);
+        let b = run_variant(v, &cfg, &plan);
+        assert!(!a.trace.is_empty(), "{}: trace captured", v.name());
+        assert_eq!(
+            a.trace,
+            b.trace,
+            "{}: same seed must replay byte-identically",
+            v.name()
+        );
+        assert_eq!(a.applied, b.applied);
+        assert_eq!(a.output_stable, b.output_stable);
+    }
+}
+
+/// The quarantine differential: with the guard on, a replica whose stable
+/// point froze is demoted to `Quarantined` (visible in the trace) while
+/// the merged output sails on; with the guard off the run still completes
+/// — input 0 is clean — but no demotion is ever recorded.
+#[test]
+fn quarantine_guard_is_visible_in_the_trace() {
+    let base = ChaosConfig::small(MASTER_SEEDS[1]);
+    // Freeze mid-run: the replica must have *announced* stables before the
+    // freeze — an input that never punctuated is indistinguishable from one
+    // that has not started, and is exempt from quarantine.
+    let plan = FaultPlan {
+        seed: base.seed,
+        faults: vec![Fault::FreezeStable {
+            input: 1,
+            from: VTime(1_200),
+        }],
+    };
+    let guarded = run_variant(Variant::R4, &base, &plan);
+    assert!(guarded.ok(), "guarded: {:?}", guarded.violations);
+    assert!(
+        guarded.trace.contains("\"quarantined\""),
+        "guarded run must record the demotion"
+    );
+
+    let off = run_variant(
+        Variant::R4,
+        &ChaosConfig {
+            robustness: RobustnessPolicy::off(),
+            ..base
+        },
+        &plan,
+    );
+    assert!(off.ok(), "unguarded: {:?}", off.violations);
+    assert!(
+        !off.trace.contains("\"quarantined\""),
+        "no policy, no demotion"
+    );
+}

@@ -7,7 +7,7 @@
 //! a fixed master seed, so failures are reproducible, and the failing case
 //! number prints in the panic message.
 
-use lmerge::core::{LMergeR3, LMergeR4, LogicalMerge, MergePolicy};
+use lmerge::core::{InputHealth, LMergeR3, LMergeR4, LogicalMerge, MergePolicy, RobustnessPolicy};
 use lmerge::temporal::reconstitute::Reconstituter;
 use lmerge::temporal::{Element, StreamId, Time};
 use rand::prelude::*;
@@ -106,6 +106,118 @@ fn r4_never_emits_ill_formed_output() {
         let feed = arb_feed(&mut rng);
         assert_output_well_formed(Box::new(LMergeR4::<&str>::new(3)), &feed, case);
     }
+}
+
+/// The bounded-memory guard pins the accounting: once an input floods
+/// enough never-freezing entries to get demoted, its index contribution is
+/// purged (the `hash_table_bytes` model drops to the surviving tables) and
+/// — the actual guarantee — no further traffic on the demoted input can
+/// move `memory_bytes` by a single byte.
+#[test]
+fn entry_bound_demotion_pins_memory_accounting() {
+    let robustness = RobustnessPolicy {
+        quarantine_lag: None,
+        max_live_entries: Some(8),
+    };
+    let mks: [&dyn Fn() -> Box<dyn LogicalMerge<&'static str>>; 2] = [
+        &|| {
+            Box::new(LMergeR3::<&str>::with_policy(
+                2,
+                MergePolicy {
+                    robustness: RobustnessPolicy {
+                        quarantine_lag: None,
+                        max_live_entries: Some(8),
+                    },
+                    ..MergePolicy::paper_default()
+                },
+            ))
+        },
+        &|| Box::new(LMergeR4::<&str>::with_robustness(2, robustness)),
+    ];
+    let payloads = [
+        "p00", "p01", "p02", "p03", "p04", "p05", "p06", "p07", "p08", "p09", "p10", "p11", "p12",
+        "p13", "p14", "p15",
+    ];
+    for mk in mks {
+        let mut lm = mk();
+        let mut out = Vec::new();
+        // Input 1 floods distinct live (never-frozen) events — all at one
+        // `Vs`, so the index grows one tier and the memory delta is purely
+        // per-input entries; each insert adds one, so the 8-entry budget
+        // trips mid-flood.
+        let mut peak = 0usize;
+        for p in payloads {
+            lm.push(StreamId(1), &Element::insert(p, 100, 200), &mut out);
+            peak = peak.max(lm.memory_bytes());
+        }
+        assert_eq!(
+            lm.input_health(StreamId(1)),
+            InputHealth::Left,
+            "flooding input was demoted"
+        );
+        let pinned = lm.memory_bytes();
+        assert!(
+            pinned < peak,
+            "purge released the flooded entries: {pinned} < {peak}"
+        );
+
+        // Everything the demoted input sends from now on is refused
+        // without touching the index: the accounting must not move.
+        for (i, p) in payloads.iter().enumerate() {
+            let vs = 500 + i as i64;
+            lm.push(StreamId(1), &Element::insert(*p, vs, vs + 5), &mut out);
+            assert_eq!(lm.memory_bytes(), pinned, "demoted input grew memory");
+        }
+        let batch: Vec<Element<&'static str>> = (0..32i64)
+            .map(|i| Element::insert("flood", 900 + i, 950 + i))
+            .collect();
+        lm.push_batch(StreamId(1), &batch, &mut out);
+        lm.push(StreamId(1), &Element::stable(1_000), &mut out);
+        assert_eq!(
+            lm.memory_bytes(),
+            pinned,
+            "batched flood on a demoted input grew memory"
+        );
+
+        // The surviving input is unaffected and still drives the merge.
+        lm.push(StreamId(0), &Element::insert("live", 10, 20), &mut out);
+        lm.push(StreamId(0), &Element::stable(30), &mut out);
+        assert_eq!(lm.max_stable(), Time(30));
+    }
+}
+
+/// Quarantine (the softer demotion) gates punctuation but keeps data
+/// flowing; the entry bound still backstops its memory, so a quarantined
+/// laggard that floods is demoted and its accounting pinned too.
+#[test]
+fn quarantined_laggard_is_demoted_before_memory_runs_away() {
+    let mut lm: LMergeR4<&str> = LMergeR4::with_robustness(2, RobustnessPolicy::guarded(5, 8));
+    let mut out = Vec::new();
+    // Input 1 announces an early stable, then input 0 races far ahead:
+    // the lag (0 vs 50) exceeds the margin and input 1 is quarantined.
+    lm.push(StreamId(1), &Element::stable(0), &mut out);
+    lm.push(StreamId(0), &Element::insert("a", 5, 9), &mut out);
+    lm.push(StreamId(0), &Element::stable(50), &mut out);
+    assert_eq!(lm.input_health(StreamId(1)), InputHealth::Quarantined);
+
+    // Quarantined data still merges — until the flood trips the bound.
+    for i in 0..16i64 {
+        lm.push(
+            StreamId(1),
+            &Element::insert("q", 100 + i, 200 + i),
+            &mut out,
+        );
+    }
+    assert_eq!(lm.input_health(StreamId(1)), InputHealth::Left);
+    let pinned = lm.memory_bytes();
+    for i in 0..16i64 {
+        lm.push(
+            StreamId(1),
+            &Element::insert("q2", 300 + i, 400 + i),
+            &mut out,
+        );
+    }
+    assert_eq!(lm.memory_bytes(), pinned, "post-demotion flood grew memory");
 }
 
 /// Attach/detach churn mid-garbage never corrupts the output either.
