@@ -12,4 +12,5 @@ fn main() {
     lmerge_bench::figs::fig10::report().emit();
     lmerge_bench::figs::table4::report().emit();
     lmerge_bench::figs::ablation::report().emit();
+    lmerge_bench::figs::shard_scaling::report().emit();
 }

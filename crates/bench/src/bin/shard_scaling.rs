@@ -1,0 +1,6 @@
+//! Regenerates the shard-scaling result. See
+//! `lmerge_bench::figs::shard_scaling`.
+
+fn main() {
+    lmerge_bench::figs::shard_scaling::report().emit();
+}

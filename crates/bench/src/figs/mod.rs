@@ -12,4 +12,5 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod shard_scaling;
 pub mod table4;

@@ -39,6 +39,7 @@ pub mod r3;
 pub mod r3_naive;
 pub mod r4;
 pub mod select;
+pub mod shard;
 pub mod stats;
 
 pub use api::{BatchMeta, InputHealth, LogicalMerge};
@@ -54,4 +55,5 @@ pub use r3::LMergeR3;
 pub use r3_naive::LMergeR3Naive;
 pub use r4::LMergeR4;
 pub use select::{new_for_level, new_for_properties};
+pub use shard::{queue_bytes, shard_of, ShardConfig, ShardedLMerge};
 pub use stats::{InputCounters, MergeStats, PerInput};

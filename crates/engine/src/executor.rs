@@ -20,7 +20,7 @@
 use crate::hooks::{ControlAction, FaultAction, NoHooks, RunHooks};
 use crate::metrics::{RunMetrics, Series};
 use crate::query::Query;
-use lmerge_core::{BatchMeta, InputHealth, LogicalMerge};
+use lmerge_core::{BatchMeta, InputHealth, LogicalMerge, ShardConfig, ShardedLMerge};
 use lmerge_obs::{ElementKind, FaultKind, HealthTag, NullSink, StableScope, TraceEvent, TraceSink};
 use lmerge_temporal::{Element, Payload, StreamId, Time, VTime};
 use std::cmp::Reverse;
@@ -85,6 +85,14 @@ pub struct RunConfig {
     pub lmerge_cost_us: u64,
     /// Sample memory every this many delivered batches.
     pub mem_sample_every: usize,
+    /// Hash-partition the merge state across this many shards (`K`). With
+    /// the default of 1 the operator runs exactly as before; higher values
+    /// route through `lmerge_core::ShardedLMerge` (see
+    /// [`RunConfig::shard_merge`]).
+    pub shards: usize,
+    /// Slots per shard delivery queue (charged to operator memory, and the
+    /// ring capacity used by the threaded `pipeline` executor).
+    pub queue_capacity: usize,
 }
 
 impl Default for RunConfig {
@@ -93,6 +101,39 @@ impl Default for RunConfig {
             feedback: false,
             lmerge_cost_us: 1,
             mem_sample_every: 256,
+            shards: 1,
+            queue_capacity: 256,
+        }
+    }
+}
+
+impl RunConfig {
+    /// The [`ShardConfig`] slice of these knobs.
+    pub fn shard_config(&self) -> ShardConfig {
+        ShardConfig {
+            shards: self.shards.max(1),
+            queue_capacity: self.queue_capacity,
+        }
+    }
+
+    /// Build the merge operator this config calls for: the factory's
+    /// operator as-is when `shards <= 1`, otherwise a [`ShardedLMerge`]
+    /// whose `K` inner states each come from one `factory()` call (so any
+    /// variant — or the chaos harness's custom builds — can run sharded
+    /// without new constructors).
+    pub fn shard_merge<P: Payload>(
+        &self,
+        n_inputs: usize,
+        mut factory: impl FnMut() -> Box<dyn LogicalMerge<P>>,
+    ) -> Box<dyn LogicalMerge<P>> {
+        if self.shards <= 1 {
+            factory()
+        } else {
+            Box::new(ShardedLMerge::from_factory(
+                self.shard_config(),
+                n_inputs,
+                factory,
+            ))
         }
     }
 }

@@ -27,10 +27,13 @@ pub mod hooks;
 pub mod metrics;
 pub mod operator;
 pub mod ops;
+pub mod pipeline;
 pub mod query;
+pub mod spsc;
 
 pub use executor::{MergeRun, RunConfig};
 pub use hooks::{ControlAction, FaultAction, NoHooks, RunHooks};
 pub use metrics::{RunMetrics, Series};
 pub use operator::{Operator, TimedElement};
+pub use pipeline::{run_pipeline, PipeItem, PipelineConfig, PipelineRun};
 pub use query::Query;

@@ -98,6 +98,10 @@ pub enum StableScope {
     Output,
     /// The latest punctuation announced by one input replica.
     Input(u32),
+    /// One shard's local stable point under hash-partitioned execution.
+    /// The output stable point is the minimum over shard scopes — a shard
+    /// that trails here is the one holding the aggregate back.
+    Shard(u32),
 }
 
 /// One observation recorded during an executor run.
@@ -191,6 +195,18 @@ pub enum TraceEvent {
         /// The new health.
         health: HealthTag,
     },
+    /// Periodic sample of one shard's delivery-queue depth under the
+    /// pipelined executor (occupancy = `depth / capacity`).
+    ShardQueueSampled {
+        /// Virtual sample time.
+        at: VTime,
+        /// The sampled shard.
+        shard: u32,
+        /// Elements in flight in the shard's SPSC ring.
+        depth: u32,
+        /// The ring's capacity in slots.
+        capacity: u32,
+    },
 }
 
 impl TraceEvent {
@@ -206,7 +222,8 @@ impl TraceEvent {
             | TraceEvent::InputDrained { at, .. }
             | TraceEvent::RunCompleted { at }
             | TraceEvent::FaultInjected { at, .. }
-            | TraceEvent::InputHealthChanged { at, .. } => at,
+            | TraceEvent::InputHealthChanged { at, .. }
+            | TraceEvent::ShardQueueSampled { at, .. } => at,
         }
     }
 
@@ -223,6 +240,7 @@ impl TraceEvent {
             TraceEvent::RunCompleted { .. } => "run_completed",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::InputHealthChanged { .. } => "input_health_changed",
+            TraceEvent::ShardQueueSampled { .. } => "shard_queue_sampled",
         }
     }
 }

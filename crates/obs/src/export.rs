@@ -49,6 +49,7 @@ fn event_json(e: &TraceEvent) -> Json {
             match scope {
                 StableScope::Output => obj.set("scope", "output"),
                 StableScope::Input(i) => obj.set("input", i),
+                StableScope::Shard(s) => obj.set("shard", s),
             };
             obj.set("stable", time_json(stable));
         }
@@ -71,6 +72,16 @@ fn event_json(e: &TraceEvent) -> Json {
         TraceEvent::InputHealthChanged { input, health, .. } => {
             obj.set("input", input).set("health", health.label());
         }
+        TraceEvent::ShardQueueSampled {
+            shard,
+            depth,
+            capacity,
+            ..
+        } => {
+            obj.set("shard", shard)
+                .set("depth", depth)
+                .set("capacity", capacity);
+        }
     }
     obj
 }
@@ -86,6 +97,11 @@ pub fn to_jsonl<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> String {
 
 /// Track id used for the merge/output lane in the Chrome trace.
 const OUTPUT_TID: u32 = 0;
+
+/// Shard lanes render above the input lanes: shard `s` is thread
+/// `SHARD_TID_BASE + s` (inputs occupy `1..`, so shards stay clear of any
+/// realistic input count).
+const SHARD_TID_BASE: u32 = 1000;
 
 fn chrome_instant(name: &str, ts: u64, tid: u32, args: Json) -> Json {
     Json::object()
@@ -168,6 +184,10 @@ pub fn to_chrome_trace<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> Stri
                         name_thread(&mut trace, i + 1, format!("input {i}"));
                         (format!("stable[input {i}]"), i + 1)
                     }
+                    StableScope::Shard(s) => {
+                        name_thread(&mut trace, SHARD_TID_BASE + s, format!("shard {s}"));
+                        (format!("stable[shard {s}]"), SHARD_TID_BASE + s)
+                    }
                 };
                 if stable == Time::INFINITY || stable == Time::MIN {
                     trace.push(chrome_instant(
@@ -222,6 +242,15 @@ pub fn to_chrome_trace<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> Stri
                     ts,
                     input + 1,
                     Json::object().with("health", health.label()),
+                ));
+            }
+            TraceEvent::ShardQueueSampled { shard, depth, .. } => {
+                name_thread(&mut trace, SHARD_TID_BASE + shard, format!("shard {shard}"));
+                trace.push(chrome_counter_on(
+                    &format!("queue[shard {shard}]"),
+                    ts,
+                    SHARD_TID_BASE + shard,
+                    depth as i64,
                 ));
             }
         }
@@ -379,6 +408,17 @@ mod tests {
                 at: VTime(23),
                 input: 1,
                 health: crate::event::HealthTag::Quarantined,
+            },
+            TraceEvent::StablePointAdvanced {
+                at: VTime(24),
+                scope: StableScope::Shard(2),
+                stable: Time(11),
+            },
+            TraceEvent::ShardQueueSampled {
+                at: VTime(25),
+                shard: 2,
+                depth: 5,
+                capacity: 64,
             },
         ]
     }

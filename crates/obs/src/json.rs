@@ -113,6 +113,15 @@ impl Json {
         }
     }
 
+    /// Numeric lookup: floats as-is, integers widened.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(v) => Some(*v),
+            Json::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Array(v) => Some(v),

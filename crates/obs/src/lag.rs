@@ -110,6 +110,8 @@ impl LagGauges {
                         }
                     }
                 }
+                // Shard scopes are folded by `shard::ShardGauges`.
+                StableScope::Shard(_) => {}
                 StableScope::Input(i) => {
                     let out = self.output_stable;
                     let was_behind = {

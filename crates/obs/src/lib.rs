@@ -52,10 +52,12 @@ pub mod hist;
 pub mod json;
 pub mod lag;
 pub mod ring;
+pub mod shard;
 pub mod sink;
 
 pub use event::{ElementKind, FaultKind, HealthTag, StableScope, TraceEvent};
 pub use hist::LogHistogram;
 pub use lag::{InputLag, LagGauges};
 pub use ring::EventRing;
+pub use shard::{ShardGauges, ShardLag};
 pub use sink::{NullSink, TraceConfig, TraceSink, Tracer};

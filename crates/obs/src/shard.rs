@@ -1,0 +1,246 @@
+//! Per-shard gauges for hash-partitioned (sharded) execution.
+//!
+//! The pipelined executor partitions the merge state across `K` workers,
+//! each fed by a bounded SPSC queue, and aggregates the output stable
+//! point as the *minimum* over shard stable points. Two diagnostics
+//! matter for that topology, and [`ShardGauges`] folds both out of the
+//! trace stream:
+//!
+//! * **Queue pressure** — each [`TraceEvent::ShardQueueSampled`] carries
+//!   one shard's in-flight depth and ring capacity; the gauges keep the
+//!   latest, the high-water mark, and the mean occupancy. A shard pinned
+//!   at full occupancy is the pipeline's bottleneck.
+//! * **Stable lag** — each `StablePointAdvanced` with a
+//!   [`StableScope::Shard`] scope updates that shard's local stable
+//!   point. The shard at the minimum is the one holding the aggregate
+//!   watermark back ([`ShardGauges::straggler`]), mirroring what
+//!   [`crate::LagGauges`] reports across *inputs*.
+
+use crate::event::{StableScope, TraceEvent};
+use lmerge_temporal::Time;
+
+/// Running diagnostics for one shard.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardLag {
+    /// The shard's latest local stable point (`Time::MIN` if none yet).
+    pub stable: Time,
+    /// Latest sampled queue depth (elements in flight).
+    pub depth: u32,
+    /// High-water queue depth across all samples.
+    pub max_depth: u32,
+    /// The shard ring's capacity in slots (from the latest sample).
+    pub capacity: u32,
+    /// Number of queue samples folded in.
+    pub samples: u64,
+    /// Sum of sampled depths (for mean occupancy).
+    depth_sum: u64,
+}
+
+impl Default for ShardLag {
+    fn default() -> ShardLag {
+        ShardLag {
+            stable: Time::MIN,
+            depth: 0,
+            max_depth: 0,
+            capacity: 0,
+            samples: 0,
+            depth_sum: 0,
+        }
+    }
+}
+
+impl ShardLag {
+    /// Latest queue occupancy in `[0, 1]` (0 before any sample).
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.depth as f64 / self.capacity as f64
+        }
+    }
+
+    /// Mean queue occupancy over all samples.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.capacity == 0 || self.samples == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / (self.samples as f64 * self.capacity as f64)
+        }
+    }
+}
+
+/// Gauges tracking every shard's queue depth and local stable point.
+#[derive(Clone, Debug, Default)]
+pub struct ShardGauges {
+    shards: Vec<ShardLag>,
+}
+
+impl ShardGauges {
+    /// Gauges for `k` shards (more are added on demand as events mention
+    /// higher shard ids).
+    pub fn new(k: usize) -> ShardGauges {
+        ShardGauges {
+            shards: vec![ShardLag::default(); k],
+        }
+    }
+
+    fn shard_mut(&mut self, s: u32) -> &mut ShardLag {
+        let s = s as usize;
+        if s >= self.shards.len() {
+            self.shards.resize(s + 1, ShardLag::default());
+        }
+        &mut self.shards[s]
+    }
+
+    /// Update the gauges from one trace event. Unrelated events are
+    /// ignored, so a [`ShardGauges`] can consume a full stream unfiltered.
+    pub fn on_event(&mut self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::ShardQueueSampled {
+                shard,
+                depth,
+                capacity,
+                ..
+            } => {
+                let sl = self.shard_mut(shard);
+                sl.depth = depth;
+                sl.max_depth = sl.max_depth.max(depth);
+                sl.capacity = capacity;
+                sl.samples += 1;
+                sl.depth_sum += depth as u64;
+            }
+            TraceEvent::StablePointAdvanced {
+                scope: StableScope::Shard(s),
+                stable,
+                ..
+            } => {
+                let sl = self.shard_mut(s);
+                sl.stable = sl.stable.max(stable);
+            }
+            _ => {}
+        }
+    }
+
+    /// Per-shard gauges, indexed by shard id.
+    pub fn shards(&self) -> &[ShardLag] {
+        &self.shards
+    }
+
+    /// The aggregate (low-watermark) stable point: the minimum over shard
+    /// stable points, `Time::MIN` before any shard reported.
+    pub fn watermark(&self) -> Time {
+        self.shards
+            .iter()
+            .map(|s| s.stable)
+            .min()
+            .unwrap_or(Time::MIN)
+    }
+
+    /// How far shard `s` trails the leading shard's stable point
+    /// (0 when leading; `None` for an unknown shard).
+    pub fn behind(&self, s: usize) -> Option<i64> {
+        let sl = self.shards.get(s)?;
+        let lead = self.shards.iter().map(|x| x.stable).max()?;
+        if sl.stable >= lead {
+            Some(0)
+        } else if sl.stable == Time::MIN {
+            Some(i64::MAX)
+        } else {
+            Some(lead.0.saturating_sub(sl.stable.0))
+        }
+    }
+
+    /// The shard farthest behind the leading shard — the one pinning the
+    /// aggregate watermark. `None` when all shards are level.
+    pub fn straggler(&self) -> Option<(usize, i64)> {
+        (0..self.shards.len())
+            .filter_map(|s| self.behind(s).map(|b| (s, b)))
+            .filter(|&(_, b)| b > 0)
+            .max_by_key(|&(s, b)| (b, std::cmp::Reverse(s)))
+    }
+
+    /// The shard with the highest mean queue occupancy — the pipeline's
+    /// likely throughput bottleneck. `None` before any queue sample.
+    pub fn hottest(&self) -> Option<(usize, f64)> {
+        (0..self.shards.len())
+            .filter(|&s| self.shards[s].samples > 0)
+            .map(|s| (s, self.shards[s].mean_occupancy()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmerge_temporal::VTime;
+
+    fn sample(g: &mut ShardGauges, shard: u32, depth: u32, capacity: u32) {
+        g.on_event(&TraceEvent::ShardQueueSampled {
+            at: VTime(0),
+            shard,
+            depth,
+            capacity,
+        });
+    }
+
+    fn adv(g: &mut ShardGauges, shard: u32, stable: i64) {
+        g.on_event(&TraceEvent::StablePointAdvanced {
+            at: VTime(0),
+            scope: StableScope::Shard(shard),
+            stable: Time(stable),
+        });
+    }
+
+    #[test]
+    fn tracks_depth_and_occupancy() {
+        let mut g = ShardGauges::new(2);
+        sample(&mut g, 0, 8, 64);
+        sample(&mut g, 0, 32, 64);
+        sample(&mut g, 0, 16, 64);
+        assert_eq!(g.shards()[0].depth, 16);
+        assert_eq!(g.shards()[0].max_depth, 32);
+        assert_eq!(g.shards()[0].occupancy(), 0.25);
+        assert!((g.shards()[0].mean_occupancy() - (56.0 / 192.0)).abs() < 1e-9);
+        assert_eq!(g.shards()[1].samples, 0, "untouched shard stays zero");
+    }
+
+    #[test]
+    fn watermark_is_min_and_straggler_is_named() {
+        let mut g = ShardGauges::new(3);
+        adv(&mut g, 0, 100);
+        adv(&mut g, 1, 40);
+        adv(&mut g, 2, 100);
+        assert_eq!(g.watermark(), Time(40));
+        assert_eq!(g.behind(1), Some(60));
+        assert_eq!(g.straggler(), Some((1, 60)));
+        adv(&mut g, 1, 100);
+        assert_eq!(g.straggler(), None, "all level");
+        assert_eq!(g.watermark(), Time(100));
+    }
+
+    #[test]
+    fn silent_shard_reads_infinitely_behind() {
+        let mut g = ShardGauges::new(2);
+        adv(&mut g, 0, 50);
+        assert_eq!(g.behind(1), Some(i64::MAX));
+        assert_eq!(g.behind(9), None, "unknown shard");
+        assert_eq!(g.watermark(), Time::MIN);
+    }
+
+    #[test]
+    fn hottest_shard_by_mean_occupancy() {
+        let mut g = ShardGauges::new(2);
+        sample(&mut g, 0, 4, 64);
+        sample(&mut g, 1, 60, 64);
+        let (s, occ) = g.hottest().unwrap();
+        assert_eq!(s, 1);
+        assert!(occ > 0.9);
+    }
+
+    #[test]
+    fn shards_grow_on_demand() {
+        let mut g = ShardGauges::default();
+        sample(&mut g, 3, 1, 8);
+        assert_eq!(g.shards().len(), 4);
+    }
+}

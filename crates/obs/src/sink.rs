@@ -11,6 +11,7 @@ use crate::event::TraceEvent;
 use crate::export;
 use crate::lag::LagGauges;
 use crate::ring::EventRing;
+use crate::shard::ShardGauges;
 
 /// A consumer of trace events.
 pub trait TraceSink {
@@ -71,6 +72,7 @@ impl Default for TraceConfig {
 pub struct Tracer {
     ring: EventRing,
     lag: LagGauges,
+    shards: ShardGauges,
 }
 
 impl Tracer {
@@ -84,6 +86,7 @@ impl Tracer {
         Tracer {
             ring: EventRing::new(config.capacity),
             lag: LagGauges::default(),
+            shards: ShardGauges::default(),
         }
     }
 
@@ -100,6 +103,12 @@ impl Tracer {
     /// The per-input lag gauges accumulated so far.
     pub fn lag(&self) -> &LagGauges {
         &self.lag
+    }
+
+    /// The per-shard gauges accumulated so far (all-zero unless the run
+    /// used the sharded pipeline).
+    pub fn shards(&self) -> &ShardGauges {
+        &self.shards
     }
 
     /// Export the retained events as JSON-lines (one object per line).
@@ -133,6 +142,7 @@ impl TraceSink for Tracer {
 
     fn record(&mut self, event: TraceEvent) {
         self.lag.on_event(&event);
+        self.shards.on_event(&event);
         self.ring.push(event);
     }
 }

@@ -1,0 +1,374 @@
+//! Sharded-merge equivalence: a `ShardedLMerge` partitioned over `K`
+//! inner states must be observationally equivalent to the sequential
+//! operator it wraps — same output data multiset, same reconstituted
+//! TDB, same stable points, same headline statistics — for every inner
+//! variant (R0–R4 plus the naive R3 baseline).
+//!
+//! Why this should hold: every index entry in every variant is keyed by
+//! `(Vs, Payload)`, and elements with different keys never interact, so
+//! hash-partitioning by that key splits the operator into `K`
+//! independent sub-merges. Stable punctuation is broadcast, keeping all
+//! shards in lockstep on progress, and the wrapper re-derives the output
+//! stable point as the minimum over shards. What *can* differ is the
+//! interleaving of outputs across keys within a stable epoch — hence the
+//! canonical (order-insensitive) comparison, exactly as the
+//! hash-iteration caveat already forces in `batch_equivalence.rs`.
+//!
+//! Failures in the generated-workload test shrink their knob vector
+//! (events, disorder, revisions, lag, seed) via `properties::shrink`
+//! before panicking, so the report names a minimal reproduction.
+
+use lmerge::core::{
+    LMergeR0, LMergeR1, LMergeR2, LMergeR3, LMergeR3Naive, LMergeR4, LogicalMerge, ShardConfig,
+    ShardedLMerge,
+};
+use lmerge::engine::{ControlAction, MergeRun, Query, RunConfig, RunHooks, TimedElement};
+use lmerge::gen::timing::add_lag;
+use lmerge::gen::{assign_times, diverge, generate, DivergenceConfig, GenConfig};
+use lmerge::properties::shrink::{describe, minimize, Knob};
+use lmerge::temporal::reconstitute::Reconstituter;
+use lmerge::temporal::{Element, Payload, StreamId, Time, VTime, Value};
+use rand::prelude::*;
+
+const K: usize = 4;
+
+type E = Element<&'static str>;
+
+/// A labelled operator factory for the differential loops.
+type NamedFactory<'a, P> = (&'a str, &'a dyn Fn() -> Box<dyn LogicalMerge<P>>);
+
+// ---------------------------------------------------------------------
+// Canonical comparison helpers
+// ---------------------------------------------------------------------
+
+/// Order-insensitive output fingerprint.
+fn sorted_debug<P: Payload>(out: &[Element<P>]) -> Vec<String> {
+    let mut v: Vec<String> = out.iter().map(|e| format!("{e:?}")).collect();
+    v.sort();
+    v
+}
+
+/// Reconstitute and fingerprint the TDB. Garbage feeds can legally make
+/// the operator emit sequences the strict reconstituter rejects (e.g. an
+/// adjust whose old endpoint predates the announced stable point) — the
+/// same for sequential and sharded runs, so `None` on both sides is not a
+/// divergence.
+fn try_tdb<P: Payload>(out: &[Element<P>]) -> Option<String> {
+    let mut rec: Reconstituter<P> = Reconstituter::new();
+    for e in out {
+        rec.apply(e).ok()?;
+    }
+    Some(format!("{:?}", rec.tdb()))
+}
+
+/// Reconstitute (asserting well-formedness) and fingerprint the TDB.
+fn tdb_fingerprint<P: Payload>(out: &[Element<P>], what: &str) -> String {
+    try_tdb(out).unwrap_or_else(|| panic!("{what}: ill-formed output"))
+}
+
+/// The observable summary two equivalent runs must agree on.
+fn observables<P: Payload>(
+    lm: &dyn LogicalMerge<P>,
+    out: &[Element<P>],
+) -> (Vec<String>, Time, [u64; 4]) {
+    let s = lm.stats();
+    (
+        sorted_debug(out),
+        lm.max_stable(),
+        [s.inserts_out, s.adjusts_out, s.stables_out, s.dropped],
+    )
+}
+
+fn drive<P: Payload>(lm: &mut dyn LogicalMerge<P>, feed: &[(u32, Element<P>)]) -> Vec<Element<P>> {
+    let mut out = Vec::new();
+    for (s, e) in feed {
+        lm.push(StreamId(*s), e, &mut out);
+    }
+    out
+}
+
+/// Compare sequential vs K-sharded for one factory; returns a diagnosis
+/// instead of panicking so shrinking loops can reuse it.
+fn diverges<P: Payload>(
+    mk: &dyn Fn() -> Box<dyn LogicalMerge<P>>,
+    n_inputs: usize,
+    feed: &[(u32, Element<P>)],
+) -> Option<String> {
+    let mut seq = mk();
+    let out_seq = drive(seq.as_mut(), feed);
+    let mut sharded = ShardedLMerge::from_factory(ShardConfig::with_shards(K), n_inputs, mk);
+    let out_sh = drive(&mut sharded, feed);
+
+    let a = observables(seq.as_ref(), &out_seq);
+    let b = observables(&sharded, &out_sh);
+    if a.1 != b.1 {
+        return Some(format!(
+            "stable point: sequential {:?}, sharded {:?}",
+            a.1, b.1
+        ));
+    }
+    if a.2 != b.2 {
+        return Some(format!(
+            "stats [ins,adj,stab,drop]: sequential {:?}, sharded {:?}",
+            a.2, b.2
+        ));
+    }
+    if a.0 != b.0 {
+        return Some("output multisets differ".to_string());
+    }
+    match (try_tdb(&out_seq), try_tdb(&out_sh)) {
+        // Reordering across keys within an epoch can shift which side the
+        // strict reconstituter accepts; the multiset check above already
+        // proved the outputs carry the same elements.
+        (Some(tdb_a), Some(tdb_b)) if tdb_a != tdb_b => {
+            Some("reconstituted TDBs differ".to_string())
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded feeds over a tiny static domain (from batch_equivalence.rs)
+// ---------------------------------------------------------------------
+
+fn arb_element(rng: &mut StdRng) -> E {
+    let payload = ["a", "b", "c"][rng.random_range(0usize..3)];
+    let t = |rng: &mut StdRng| rng.random_range(0i64..24);
+    match rng.random_range(0u32..5) {
+        0 | 1 => {
+            let vs = t(rng);
+            Element::insert(payload, vs, vs + t(rng) + 1)
+        }
+        2 => {
+            let vs = t(rng);
+            Element::adjust(payload, vs, vs + t(rng), vs + t(rng))
+        }
+        _ => Element::stable(t(rng)),
+    }
+}
+
+/// Ordered insert-only feed (strictly increasing `Vs`), the R0 contract.
+fn ordered_feed(rng: &mut StdRng) -> Vec<(u32, E)> {
+    let len = rng.random_range(1usize..150);
+    let mut vs = 0i64;
+    let mut feed = Vec::new();
+    for _ in 0..len {
+        vs += rng.random_range(1i64..4);
+        let s = rng.random_range(0u32..3);
+        if rng.random_range(0u32..8) == 0 {
+            feed.push((s, Element::stable(vs - 1)));
+        } else {
+            // Three payloads so the router actually splits the feed.
+            let p = ["a", "b", "c"][(vs % 3) as usize];
+            feed.push((s, Element::insert(p, vs, vs + 10)));
+        }
+    }
+    feed
+}
+
+fn garbage_feed(rng: &mut StdRng) -> Vec<(u32, E)> {
+    let len = rng.random_range(1usize..150);
+    (0..len)
+        .map(|_| (rng.random_range(0u32..3), arb_element(rng)))
+        .collect()
+}
+
+#[test]
+fn restricted_variants_match_sharded_on_ordered_feeds() {
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0001);
+    for case in 0..150 {
+        let feed = ordered_feed(&mut rng);
+        let mks: [NamedFactory<&'static str>; 3] = [
+            ("R0", &|| Box::new(LMergeR0::new(3))),
+            ("R1", &|| Box::new(LMergeR1::new(3))),
+            ("R2", &|| Box::new(LMergeR2::new(3))),
+        ];
+        for (name, mk) in mks {
+            if let Some(why) = diverges(mk, 3, &feed) {
+                panic!("case {case} ({name}): {why}");
+            }
+        }
+    }
+}
+
+#[test]
+fn indexed_variants_match_sharded_under_garbage() {
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0002);
+    for case in 0..150 {
+        let feed = garbage_feed(&mut rng);
+        let mks: [NamedFactory<&'static str>; 3] = [
+            ("R3", &|| Box::new(LMergeR3::new(3))),
+            ("R3-", &|| Box::new(LMergeR3Naive::new(3))),
+            ("R4", &|| Box::new(LMergeR4::new(3))),
+        ];
+        for (name, mk) in mks {
+            if let Some(why) = diverges(mk, 3, &feed) {
+                panic!("case {case} ({name}): {why}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generated physically-divergent workloads, shrunk on failure
+// ---------------------------------------------------------------------
+
+const INPUTS: usize = 3;
+
+/// Build the arrival-ordered feed from the knob vector:
+/// `[events, disorder%, revision%, lag_ms, seed]`.
+fn knob_feed(k: &[Knob]) -> Vec<(u32, Element<Value>)> {
+    let (events, disorder, revision, lag_ms, seed) = (
+        k[0].value as usize,
+        k[1].value as f64 / 100.0,
+        k[2].value as f64 / 100.0,
+        k[3].value,
+        k[4].value,
+    );
+    let reference = generate(&GenConfig {
+        num_events: events,
+        disorder,
+        disorder_window_ms: 5_000,
+        stable_freq: 0.05,
+        payload_len: 16,
+        seed,
+        ..GenConfig::default()
+    });
+    let div = DivergenceConfig {
+        revision_prob: revision,
+        seed,
+        ..DivergenceConfig::default()
+    };
+    let mut all: Vec<(u64, u32, Element<Value>)> = Vec::new();
+    for i in 0..INPUTS {
+        let copy = diverge(&reference.elements, &div, i as u64);
+        let mut timed = assign_times(&copy, 50_000.0);
+        add_lag(&mut timed, i as u64 * lag_ms * 1_000);
+        for (at, e) in timed {
+            all.push((at.as_micros(), i as u32, e));
+        }
+    }
+    all.sort_by_key(|(at, i, _)| (*at, *i));
+    all.into_iter().map(|(_, i, e)| (i, e)).collect()
+}
+
+#[test]
+fn generated_divergent_workloads_match_sharded() {
+    let mks: [NamedFactory<Value>; 3] = [
+        ("R3", &|| Box::new(LMergeR3::new(INPUTS))),
+        ("R3-", &|| Box::new(LMergeR3Naive::new(INPUTS))),
+        ("R4", &|| Box::new(LMergeR4::new(INPUTS))),
+    ];
+    for seed in 0..4u64 {
+        let knobs = vec![
+            Knob::new("events", 300, 1),
+            Knob::new("disorder_pct", 25, 0),
+            Knob::new("revision_pct", 30, 0),
+            Knob::new("lag_ms", 2, 0),
+            Knob::new("seed", seed, 0),
+        ];
+        for (name, mk) in mks {
+            let fails = |k: &[Knob]| diverges(mk, INPUTS, &knob_feed(k)).is_some();
+            if fails(&knobs) {
+                let (min, probes) = minimize(knobs.clone(), fails);
+                let why = diverges(mk, INPUTS, &knob_feed(&min)).unwrap_or_default();
+                panic!(
+                    "{name} sharded/sequential divergence ({why}); \
+                     minimal reproduction after {probes} probes: {}",
+                    describe(&min)
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos control under sharding: mid-feed detach via RunHooks
+// ---------------------------------------------------------------------
+
+/// Detaches one input at a fixed virtual time and captures everything
+/// the merge emits.
+struct DetachMidFeed {
+    victim: u32,
+    at: VTime,
+    fired: bool,
+    emitted: Vec<E>,
+}
+
+impl RunHooks<&'static str> for DetachMidFeed {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn on_consumed(&mut self, _input: u32, _at: VTime, _delivered: &[E], emitted: &[E]) {
+        self.emitted.extend_from_slice(emitted);
+    }
+
+    fn control(&mut self, at: VTime, actions: &mut Vec<ControlAction<&'static str>>) {
+        if !self.fired && at >= self.at {
+            actions.push(ControlAction::Detach(StreamId(self.victim)));
+            self.fired = true;
+        }
+    }
+}
+
+/// The same chaos plan must produce the same merged story whether the
+/// run's operator is sequential or sharded: control is applied at the
+/// router, before partitioning, so a detach means the same thing.
+#[test]
+fn mid_feed_detach_behaves_identically_sharded() {
+    let feeds: Vec<Vec<TimedElement<&'static str>>> = (0..3u64)
+        .map(|i| {
+            let mut f = Vec::new();
+            for n in 0..30i64 {
+                let at = VTime(n as u64 * 1_000 + i * 137);
+                let p = ["a", "b", "c", "d"][(n % 4) as usize];
+                f.push(TimedElement::new(at, Element::insert(p, n, n + 8)));
+                if n % 6 == 5 {
+                    f.push(TimedElement::new(at.advance(10), Element::stable(n - 2)));
+                }
+            }
+            f.push(TimedElement::new(
+                VTime(40_000),
+                Element::stable(Time::INFINITY),
+            ));
+            f
+        })
+        .collect();
+
+    let run = |shards: usize| {
+        let config = RunConfig {
+            shards,
+            ..RunConfig::default()
+        };
+        let lmerge = config.shard_merge(3, || {
+            Box::new(LMergeR3::new(3)) as Box<dyn LogicalMerge<&'static str>>
+        });
+        let queries = feeds.iter().cloned().map(Query::passthrough).collect();
+        let mut hooks = DetachMidFeed {
+            victim: 2,
+            at: VTime(14_000),
+            fired: false,
+            emitted: Vec::new(),
+        };
+        let m = MergeRun::new(queries, lmerge, config)
+            .run_with_hooks(&mut lmerge::obs::NullSink, &mut hooks);
+        assert!(hooks.fired, "detach fired");
+        (
+            sorted_debug(&hooks.emitted),
+            tdb_fingerprint(&hooks.emitted, "detach run"),
+            [
+                m.merge.inserts_out,
+                m.merge.adjusts_out,
+                m.merge.stables_out,
+                m.merge.dropped,
+            ],
+        )
+    };
+
+    let sequential = run(1);
+    let sharded = run(K);
+    assert_eq!(sequential.0, sharded.0, "emitted multisets diverge");
+    assert_eq!(sequential.1, sharded.1, "TDBs diverge");
+    assert_eq!(sequential.2, sharded.2, "stats diverge");
+}
