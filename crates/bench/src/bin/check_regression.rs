@@ -3,7 +3,8 @@
 //!
 //! Usage: `cargo run --release -p lmerge-bench --bin check_regression`
 //!
-//! The checked figures (fig2 and shard_scaling) are regenerated
+//! The checked figures (fig2, shard_scaling, and net_loopback) are
+//! regenerated
 //! **in-process at default scale** — the same scale the committed
 //! baselines were produced at — so the comparison is apples-to-apples
 //! even when the surrounding CI job runs other benches in quick mode.
@@ -160,13 +161,18 @@ fn main() {
     println!("regenerating checked figures at default scale...");
     let fig2 = lmerge_bench::figs::fig2::report();
     let scaling = lmerge_bench::figs::shard_scaling::report();
+    let net = lmerge_bench::figs::net_loopback::report();
 
     let mut gate = Gate {
         violations: Vec::new(),
         checked: 0,
     };
     let mut errors = Vec::new();
-    for (id, fresh) in [("fig2", &fig2), ("shard_scaling", &scaling)] {
+    for (id, fresh) in [
+        ("fig2", &fig2),
+        ("shard_scaling", &scaling),
+        ("net_loopback", &net),
+    ] {
         if let Err(e) = gate.diff(id, fresh) {
             errors.push(e);
         }

@@ -1,0 +1,6 @@
+//! Regenerates the loopback-ingest result. See
+//! `lmerge_bench::figs::net_loopback`.
+
+fn main() {
+    lmerge_bench::figs::net_loopback::report().emit();
+}

@@ -12,5 +12,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod net_loopback;
 pub mod shard_scaling;
 pub mod table4;

@@ -198,7 +198,7 @@ impl CaseOutcome {
 /// Assign virtual arrival times: copy `c`'s element `j` arrives at
 /// `j·40 + c·13` µs — replicas pace together but stay slightly skewed, so
 /// delivery interleaves across inputs like the paper's lag experiments.
-fn timed(copy: usize, elements: Vec<Element<Value>>) -> Vec<TimedElement<Value>> {
+pub fn timed(copy: usize, elements: Vec<Element<Value>>) -> Vec<TimedElement<Value>> {
     elements
         .into_iter()
         .enumerate()
@@ -208,7 +208,7 @@ fn timed(copy: usize, elements: Vec<Element<Value>>) -> Vec<TimedElement<Value>>
 
 /// The general workload (R3/R4/naive): divergent copies — reordered
 /// windows, provisional-insert revision paths, thinned punctuation.
-fn general_feeds(
+pub fn general_feeds(
     cfg: &ChaosConfig,
 ) -> (lmerge_temporal::Tdb<Value>, Vec<Vec<TimedElement<Value>>>) {
     // Denser punctuation than the unit-test default: every stable advance
@@ -228,7 +228,7 @@ fn general_feeds(
 /// The restricted workload (R0–R2): insert-only, strictly increasing `Vs`,
 /// identical data order on every copy; copies differ only in which
 /// non-final punctuation they keep.
-fn restricted_feeds(
+pub fn restricted_feeds(
     cfg: &ChaosConfig,
 ) -> (lmerge_temporal::Tdb<Value>, Vec<Vec<TimedElement<Value>>>) {
     let gc = GenConfig {

@@ -101,6 +101,16 @@ impl ChaosInjector {
         }
     }
 
+    /// A pure conformance checker: an injector with an empty (clean) fault
+    /// plan, so it injects nothing and only reconstitutes views + runs the
+    /// compatibility oracle. This is how runs whose faults happen *outside*
+    /// the executor — e.g. lmerge-net's chaos proxy cutting real TCP
+    /// connections — borrow the same oracle: the network layer supplies the
+    /// disruption, this hook supplies the judgement.
+    pub fn oracle(level: RLevel, feeds: &[Vec<TimedElement<Value>>]) -> Self {
+        ChaosInjector::new(level, &FaultPlan::clean(0), feeds)
+    }
+
     fn ensure(&mut self, i: usize) {
         while self.in_recs.len() <= i {
             self.in_recs.push(Reconstituter::new());

@@ -26,7 +26,8 @@ pub mod inject;
 pub mod plan;
 
 pub use harness::{
-    run_case, run_variant, CaseOutcome, ChaosConfig, Chunker, Variant, ALL_VARIANTS,
+    general_feeds, restricted_feeds, run_case, run_variant, timed, CaseOutcome, ChaosConfig,
+    Chunker, Variant, ALL_VARIANTS,
 };
 pub use inject::ChaosInjector;
 pub use plan::{Fault, FaultPlan};

@@ -26,6 +26,7 @@
 
 pub mod api;
 pub mod det;
+pub mod hash;
 pub mod in2t;
 pub mod in3t;
 pub mod inputs;
@@ -40,10 +41,12 @@ pub mod r3_naive;
 pub mod r4;
 pub mod select;
 pub mod shard;
+pub mod spsc;
 pub mod stats;
 
 pub use api::{BatchMeta, InputHealth, LogicalMerge};
 pub use det::{DetBuildHasher, DetHashMap};
+pub use hash::{fnv1a, Fnv1a};
 pub use in2t::SweepAction;
 pub use mem::hash_table_bytes;
 pub use merge::{merge_streams, Interleave};

@@ -84,32 +84,17 @@ pub fn queue_bytes<P: Payload>(shards: usize, capacity: usize) -> usize {
 /// processes, and the inline/threaded execution paths — so `RandomState`
 /// is out. SipHash with fixed keys (`det::DetBuildHasher`) would do, but
 /// the router sits on the hot path in front of *every* shard, so we use
-/// FNV-1a instead: ~1 multiply per byte, and the `(Vs, Payload)` keys it
-/// feeds on are short (an `i64` plus a small payload key).
+/// the workspace's shared FNV-1a ([`crate::hash`], also the lmerge-net
+/// wire-frame checksum): ~1 multiply per byte, and the `(Vs, Payload)`
+/// keys it feeds on are short (an `i64` plus a small payload key).
 pub fn shard_of<P: Hash>(vs: Time, payload: &P, shards: usize) -> usize {
     if shards <= 1 {
         return 0;
     }
-    let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+    let mut h = crate::hash::Fnv1a::new();
     vs.0.hash(&mut h);
     payload.hash(&mut h);
-    (h.0 % shards as u64) as usize
-}
-
-struct Fnv1a(u64);
-
-impl Hasher for Fnv1a {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
+    (h.finish() % shards as u64) as usize
 }
 
 /// A `LogicalMerge` that hash-partitions its state across `K` inner merges.

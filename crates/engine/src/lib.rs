@@ -36,4 +36,4 @@ pub use hooks::{ControlAction, FaultAction, NoHooks, RunHooks};
 pub use metrics::{RunMetrics, Series};
 pub use operator::{Operator, TimedElement};
 pub use pipeline::{run_pipeline, PipeItem, PipelineConfig, PipelineRun};
-pub use query::Query;
+pub use query::{Query, Source};

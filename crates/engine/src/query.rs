@@ -19,6 +19,38 @@ pub struct Batch<P> {
     pub meta: BatchMeta,
 }
 
+/// A pull source of timed elements feeding one [`Query`].
+///
+/// The executor only ever asks for the next element, so a source can be an
+/// in-memory vector (the default, [`Query::new`]), or something that blocks
+/// on the outside world — the lmerge-net ingest server implements this
+/// trait over a per-connection SPSC ring so a remote replica's elements
+/// enter the same virtual-time pipeline as in-process feeds. Each element
+/// carries its own virtual arrival stamp, which is what makes networked and
+/// in-process delivery of the same feed produce identical runs.
+pub trait Source<P: Payload>: Send {
+    /// The next timed element, or `None` when the source is finished.
+    ///
+    /// A source backed by a live connection may block here until the peer
+    /// delivers more; the virtual-time model is unaffected because time is
+    /// carried in the elements, not measured around this call.
+    fn next(&mut self) -> Option<TimedElement<P>>;
+
+    /// Bytes of buffering held by the source itself (0 for plain vectors).
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// The ordinary in-memory source: a pre-timed vector, consumed in order.
+struct VecSource<P>(std::vec::IntoIter<TimedElement<P>>);
+
+impl<P: Payload> Source<P> for VecSource<P> {
+    fn next(&mut self) -> Option<TimedElement<P>> {
+        self.0.next()
+    }
+}
+
 /// One continuous query: a source, an operator chain, and a virtual core.
 ///
 /// Elements are processed in arrival order; processing of an element starts
@@ -27,7 +59,7 @@ pub struct Batch<P> {
 /// what lets lag, bursts, congestion, and plan cost asymmetry (Figures 5 and
 /// 8–10) reproduce deterministically.
 pub struct Query<P: Payload> {
-    source: std::vec::IntoIter<TimedElement<P>>,
+    source: Box<dyn Source<P>>,
     chain: Vec<Box<dyn Operator<P>>>,
     /// Cost charged for ingesting one source element, before the chain.
     base_cost_us: u64,
@@ -37,8 +69,14 @@ pub struct Query<P: Payload> {
 impl<P: Payload> Query<P> {
     /// A query over `source` with the given operator chain.
     pub fn new(source: Vec<TimedElement<P>>, chain: Vec<Box<dyn Operator<P>>>) -> Query<P> {
+        Query::from_source(Box::new(VecSource(source.into_iter())), chain)
+    }
+
+    /// A query pulling from an arbitrary [`Source`] — the entry point for
+    /// sources that are not in-memory vectors (network ingest, replay).
+    pub fn from_source(source: Box<dyn Source<P>>, chain: Vec<Box<dyn Operator<P>>>) -> Query<P> {
         Query {
-            source: source.into_iter(),
+            source,
             chain,
             base_cost_us: 1,
             core_ready: VTime::ZERO,
@@ -92,9 +130,10 @@ impl<P: Payload> Query<P> {
         }
     }
 
-    /// Total operator state held by this query.
+    /// Total operator state held by this query, plus any buffering the
+    /// source itself maintains (e.g. a network ingest ring).
     pub fn memory_bytes(&self) -> usize {
-        self.chain.iter().map(|op| op.memory_bytes()).sum()
+        self.chain.iter().map(|op| op.memory_bytes()).sum::<usize>() + self.source.memory_bytes()
     }
 
     /// Virtual time at which the query's core frees up.

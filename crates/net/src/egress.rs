@@ -1,0 +1,272 @@
+//! Egress: capturing and serializing the merged output stream.
+//!
+//! The executor keeps its output vector internal, so the way to observe
+//! (or ship) what the merge emitted is the hooks boundary. [`NetHooks`]
+//! wraps any inner [`RunHooks`] implementation, accumulates every emitted
+//! element in order, and — when given a writer — encodes each one as a
+//! wire `Data` frame, turning the merge's output back into the same
+//! format its inputs arrived in (so a downstream LMerge could ingest it).
+//!
+//! **Byte-identity discipline**: wrapping hooks forces the executor down
+//! its hooks-enabled path. The loopback differential tests wrap *both*
+//! the networked run and the in-process run in `NetHooks`, so the two
+//! executors take literally the same code path and their outputs and
+//! traces can be compared byte for byte.
+
+use crate::wire::{self, Frame};
+use lmerge_engine::{ControlAction, FaultAction, NoHooks, RunHooks};
+use lmerge_temporal::{Element, VTime, Value};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A hooks wrapper that captures the merged output stream and optionally
+/// serializes it to a writer as wire `Data` frames.
+pub struct NetHooks<H> {
+    inner: H,
+    out: Vec<Element<Value>>,
+    egress: Option<Box<dyn Write + Send>>,
+    seq: u64,
+}
+
+impl NetHooks<NoHooks> {
+    /// A pure output collector with no inner hooks and no egress writer.
+    pub fn collector() -> NetHooks<NoHooks> {
+        NetHooks::wrap(NoHooks)
+    }
+}
+
+impl<H: RunHooks<Value>> NetHooks<H> {
+    /// Wrap `inner`, forwarding every hook call to it while collecting
+    /// the emitted output stream.
+    pub fn wrap(inner: H) -> NetHooks<H> {
+        NetHooks {
+            inner,
+            out: Vec::new(),
+            egress: None,
+            seq: 0,
+        }
+    }
+
+    /// Also serialize every emitted element as a wire `Data` frame to `w`.
+    #[must_use]
+    pub fn with_egress(mut self, w: Box<dyn Write + Send>) -> NetHooks<H> {
+        self.egress = Some(w);
+        self
+    }
+
+    /// The merged output collected so far, in emission order.
+    pub fn output(&self) -> &[Element<Value>] {
+        &self.out
+    }
+
+    /// Consume the wrapper, returning the collected output and the inner
+    /// hooks (whose own verdicts — e.g. a chaos oracle's violations — the
+    /// caller usually wants next).
+    pub fn into_parts(self) -> (Vec<Element<Value>>, H) {
+        (self.out, self.inner)
+    }
+}
+
+impl<H: RunHooks<Value>> RunHooks<Value> for NetHooks<H> {
+    fn enabled(&self) -> bool {
+        // Always on: the collector must see `on_consumed` even when the
+        // inner hooks are inert, and keeping it unconditional pins both
+        // sides of a differential comparison to the same executor path.
+        true
+    }
+
+    fn on_deliver(
+        &mut self,
+        input: u32,
+        at: VTime,
+        elements: &[Element<Value>],
+    ) -> FaultAction<Value> {
+        if self.inner.enabled() {
+            self.inner.on_deliver(input, at, elements)
+        } else {
+            FaultAction::Deliver
+        }
+    }
+
+    fn on_consumed(
+        &mut self,
+        input: u32,
+        at: VTime,
+        delivered: &[Element<Value>],
+        emitted: &[Element<Value>],
+    ) {
+        self.out.extend_from_slice(emitted);
+        if let Some(w) = &mut self.egress {
+            for e in emitted {
+                let frame = Frame::Data {
+                    seq: self.seq,
+                    at,
+                    element: e.clone(),
+                };
+                self.seq += 1;
+                if wire::write_frame(w, &frame).is_err() {
+                    // A broken egress sink must not perturb the run.
+                    self.egress = None;
+                    break;
+                }
+            }
+        }
+        if self.inner.enabled() {
+            self.inner.on_consumed(input, at, delivered, emitted);
+        }
+    }
+
+    fn control(&mut self, at: VTime, actions: &mut Vec<ControlAction<Value>>) {
+        if self.inner.enabled() {
+            self.inner.control(at, actions);
+        }
+    }
+}
+
+/// A `Write` handle over a shared byte buffer — lets a test (or another
+/// thread) read back what the egress path serialized.
+#[derive(Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// An empty shared buffer.
+    pub fn new() -> SharedBuf {
+        SharedBuf::default()
+    }
+
+    /// Snapshot the bytes written so far.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.0.lock().unwrap().clone()
+    }
+
+    /// Decode the buffer as a sequence of whole frames.
+    pub fn frames(&self) -> Result<Vec<Frame>, crate::wire::WireError> {
+        decode_all(&self.bytes())
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Decode every frame in `buf`; errors if any frame is malformed or the
+/// buffer ends mid-frame.
+pub fn decode_all(buf: &[u8]) -> Result<Vec<Frame>, crate::wire::WireError> {
+    let mut frames = Vec::new();
+    let mut off = 0;
+    while off < buf.len() {
+        let (frame, used) = wire::decode(&buf[off..])?;
+        frames.push(frame);
+        off += used;
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmerge_temporal::Time;
+
+    #[test]
+    fn collector_accumulates_emitted_elements() {
+        let mut h = NetHooks::collector();
+        let a = Element::insert(Value::bare(1), 0, 5);
+        let s = Element::<Value>::stable(Time(3));
+        h.on_consumed(
+            0,
+            VTime(10),
+            std::slice::from_ref(&a),
+            &[a.clone(), s.clone()],
+        );
+        h.on_consumed(1, VTime(20), &[], std::slice::from_ref(&s));
+        assert_eq!(h.output(), &[a, s.clone(), s]);
+    }
+
+    #[test]
+    fn egress_serializes_round_trippable_frames() {
+        let buf = SharedBuf::new();
+        let mut h = NetHooks::collector().with_egress(Box::new(buf.clone()));
+        let a = Element::insert(Value::synthetic(7, 64), 1, 9);
+        let s = Element::<Value>::stable(Time(4));
+        h.on_consumed(
+            0,
+            VTime(100),
+            std::slice::from_ref(&a),
+            &[a.clone(), s.clone()],
+        );
+        let frames = buf.frames().expect("egress stream decodes");
+        assert_eq!(frames.len(), 2);
+        assert_eq!(
+            frames[0],
+            Frame::Data {
+                seq: 0,
+                at: VTime(100),
+                element: a
+            }
+        );
+        assert_eq!(
+            frames[1],
+            Frame::Data {
+                seq: 1,
+                at: VTime(100),
+                element: s
+            }
+        );
+    }
+
+    #[test]
+    fn forwards_to_inner_hooks() {
+        struct Counting {
+            delivers: usize,
+            consumed: usize,
+        }
+        impl RunHooks<Value> for Counting {
+            fn enabled(&self) -> bool {
+                true
+            }
+            fn on_deliver(
+                &mut self,
+                _i: u32,
+                _at: VTime,
+                _e: &[Element<Value>],
+            ) -> FaultAction<Value> {
+                self.delivers += 1;
+                FaultAction::Drop
+            }
+            fn on_consumed(
+                &mut self,
+                _i: u32,
+                _at: VTime,
+                _d: &[Element<Value>],
+                _e: &[Element<Value>],
+            ) {
+                self.consumed += 1;
+            }
+        }
+        let mut h = NetHooks::wrap(Counting {
+            delivers: 0,
+            consumed: 0,
+        });
+        let e = Element::insert(Value::bare(1), 0, 1);
+        assert!(matches!(
+            h.on_deliver(0, VTime(1), std::slice::from_ref(&e)),
+            FaultAction::Drop
+        ));
+        h.on_consumed(
+            0,
+            VTime(2),
+            std::slice::from_ref(&e),
+            std::slice::from_ref(&e),
+        );
+        let (out, inner) = h.into_parts();
+        assert_eq!(out.len(), 1);
+        assert_eq!((inner.delivers, inner.consumed), (1, 1));
+    }
+}

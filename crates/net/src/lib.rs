@@ -1,0 +1,47 @@
+//! Network ingest/egress for LMerge: physically independent replicas
+//! feeding the merge over real sockets.
+//!
+//! The paper's premise is that LMerge's inputs are *physically independent*
+//! — separate machines, separate failure domains — yet the rest of this
+//! workspace delivers feeds in-process. This crate closes that gap with a
+//! deliberately small TCP substrate, std-only (no tokio, no serde):
+//!
+//! * [`wire`] — a versioned, length-prefixed binary frame format for
+//!   `insert`/`adjust`/`stable` plus session control, with a per-frame
+//!   FNV-1a checksum (the same [`lmerge_core::hash`] the shard router
+//!   uses) and typed, panic-free decode errors;
+//! * [`server`] — the ingest side: one TCP connection per input, a
+//!   handshake carrying protocol version / input id / resume offset,
+//!   credit-based backpressure keyed off a bounded
+//!   [`lmerge_core::spsc`] ring, and a [`server::NetSource`] implementing
+//!   the engine's [`lmerge_engine::Source`] so decoded elements enter the
+//!   ordinary virtual-time executor;
+//! * [`client`] — the replayer: streams a pre-timed feed with configurable
+//!   pacing, honours credits, and resumes from the server's acked offset
+//!   after a crash or disconnect;
+//! * [`egress`] — [`egress::NetHooks`], a [`lmerge_engine::RunHooks`]
+//!   wrapper that captures the merged output stream and optionally
+//!   serializes it back onto the wire;
+//! * [`proxy`] — a chaos proxy that forwards bytes while injecting
+//!   seeded delays, stalls, and connection resets, so the conformance
+//!   oracle can judge merge output under *real* network faults rather
+//!   than only the in-process injection of the chaos crate.
+//!
+//! The invariant the whole crate defends: because virtual arrival times
+//! travel **inside** the frames, delivering a feed over a socket — even
+//! through the chaos proxy, even across a kill-and-rejoin — reconstructs
+//! exactly the `TimedElement` sequence an in-process run would consume,
+//! so the merged output (and its trace) is byte-identical. Real time
+//! affects only *when* the run finishes, never *what* it produces.
+
+pub mod client;
+pub mod egress;
+pub mod proxy;
+pub mod server;
+pub mod wire;
+
+pub use client::{replay, ReplayConfig, ReplayOutcome};
+pub use egress::{NetHooks, SharedBuf};
+pub use proxy::{ChaosProxy, ProxyFault, ProxyPlan};
+pub use server::{IngestConfig, IngestServer, NetSource};
+pub use wire::{decode, encode, read_frame, write_frame, Frame, WireError, PROTOCOL_VERSION};

@@ -1,0 +1,551 @@
+//! The ingest server: one TCP connection per input, feeding decoded
+//! elements into the virtual-time executor through bounded SPSC rings.
+//!
+//! # Session lifecycle
+//!
+//! A client opens a connection and sends `Hello { protocol, input }`. The
+//! server validates the version and input id, claims the input's producer
+//! half (waiting briefly if a dying predecessor session still holds it),
+//! and answers `Welcome { resume_seq, resume_stable, credits }`:
+//!
+//! * `resume_seq` — the next data sequence the server will accept. Data
+//!   sequence numbers are the *feed index*, so a rejoining replayer
+//!   simply skips `feed[..resume_seq]` — everything the server already
+//!   holds (acked **or** still sitting un-popped in the ring) is covered,
+//!   giving exactly-once delivery across crashes without any replay log.
+//! * `resume_stable` — the last stable point the merge side actually
+//!   consumed (the paper's catch-up point for a rejoining replica).
+//! * `credits` — free ring slots: how many data frames the client may
+//!   send before waiting for `Credit` grants.
+//!
+//! # Backpressure
+//!
+//! The ring is the hard limit: a session thread that finds it full spins
+//! (the socket's TCP window then pushes back on the client). Credits are
+//! the *advisory* layer that keeps well-behaved clients from ever hitting
+//! that spin: the merge-side [`NetSource`] grants `credit_batch` credits
+//! back each time it has popped that many items. Occupancy is sampled
+//! into the server's own tracer as `net_queue_sampled` events alongside
+//! `credit_granted`, `session_opened`, and `session_closed`.
+//!
+//! # Trace purity
+//!
+//! The server owns a private [`Tracer`]. Network-session events never
+//! touch the *run's* tracer — a networked run must produce a trace
+//! byte-identical to the in-process run of the same feeds, and it could
+//! not if socket lifecycle noise leaked in.
+
+use crate::wire::{self, Frame, WireError, PROTOCOL_VERSION};
+use lmerge_core::spsc::{self, Consumer, Producer};
+use lmerge_engine::{Source, TimedElement};
+use lmerge_obs::{TraceEvent, TraceSink, Tracer};
+use lmerge_temporal::{Element, Time, VTime, Value};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// One decoded element in flight between a session thread and the merge.
+struct Item {
+    seq: u64,
+    te: TimedElement<Value>,
+}
+
+/// Ingest server sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestConfig {
+    /// Number of inputs (one TCP session each).
+    pub inputs: usize,
+    /// Slots per input ring — the hard in-flight bound per connection.
+    pub ring_capacity: usize,
+    /// Credits granted back per batch of pops. Must be smaller than
+    /// `ring_capacity` or clients could starve waiting for a grant.
+    pub credit_batch: u32,
+}
+
+impl IngestConfig {
+    /// Defaults: 256-slot rings, credits granted 32 at a time.
+    pub fn new(inputs: usize) -> IngestConfig {
+        IngestConfig {
+            inputs,
+            ring_capacity: 256,
+            credit_batch: 32,
+        }
+    }
+}
+
+/// Per-input state shared between the accept loop, the active session
+/// thread, and the merge-side [`NetSource`].
+struct InputShared {
+    /// The ring's producer half. A session thread takes it while serving
+    /// a connection and hands it back on exit, so a rejoining client can
+    /// only stream once its predecessor is gone — one producer, ever.
+    producer: Mutex<Option<Producer<Item>>>,
+    /// Write half of the live connection, for merge-side `Credit`/`Ack`.
+    writer: Mutex<Option<TcpStream>>,
+    /// Next data sequence the server will accept (== frames consumed into
+    /// the ring so far, since sequences are dense from 0).
+    next_seq: AtomicU64,
+    /// Raw value of the last stable point popped by the merge side.
+    acked_stable: AtomicI64,
+    /// Set on a clean `Bye`; tells the `NetSource` the stream is over.
+    finished: AtomicBool,
+    /// Items ever pushed / popped — their difference is ring occupancy.
+    pushes: AtomicU64,
+    pops: AtomicU64,
+    capacity: u32,
+}
+
+/// State shared by every thread the server spawns.
+struct ServerShared {
+    inputs: Vec<InputShared>,
+    shutdown: AtomicBool,
+    tracer: Mutex<Tracer>,
+    credit_batch: u32,
+}
+
+impl ServerShared {
+    fn trace(&self, event: TraceEvent) {
+        self.tracer.lock().unwrap().record(event);
+    }
+
+    /// Send a frame to an input's live connection; best-effort (a frame
+    /// to a dead connection is dropped and the writer cleared — the
+    /// client will learn everything it needs from its next `Welcome`).
+    fn send(&self, input: u32, frame: &Frame) {
+        let mut guard = self.inputs[input as usize].writer.lock().unwrap();
+        if let Some(w) = guard.as_mut() {
+            if wire::write_frame(w, frame).is_err() {
+                *guard = None;
+            }
+        }
+    }
+}
+
+/// A TCP ingest server feeding `inputs` independent element streams.
+pub struct IngestServer {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    consumers: Vec<Option<Consumer<Item>>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl IngestServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and start
+    /// accepting sessions.
+    pub fn bind(addr: &str, config: IngestConfig) -> io::Result<IngestServer> {
+        assert!(
+            config.ring_capacity > config.credit_batch as usize,
+            "ring_capacity must exceed credit_batch or clients starve"
+        );
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let mut inputs = Vec::with_capacity(config.inputs);
+        let mut consumers = Vec::with_capacity(config.inputs);
+        for _ in 0..config.inputs {
+            let (tx, rx) = spsc::ring::<Item>(config.ring_capacity);
+            inputs.push(InputShared {
+                producer: Mutex::new(Some(tx)),
+                writer: Mutex::new(None),
+                next_seq: AtomicU64::new(0),
+                acked_stable: AtomicI64::new(Time::MIN.0),
+                finished: AtomicBool::new(false),
+                pushes: AtomicU64::new(0),
+                pops: AtomicU64::new(0),
+                capacity: config.ring_capacity as u32,
+            });
+            consumers.push(Some(rx));
+        }
+        let shared = Arc::new(ServerShared {
+            inputs,
+            shutdown: AtomicBool::new(false),
+            tracer: Mutex::new(Tracer::new()),
+            credit_batch: config.credit_batch,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(IngestServer {
+            local_addr,
+            shared,
+            consumers,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (connect clients and proxies here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Take the merge-side sources, one per input, in input order. Each
+    /// is the single consumer of its input's ring; callable once.
+    pub fn sources(&mut self) -> Vec<NetSource> {
+        self.consumers
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| NetSource {
+                input: i as u32,
+                consumer: c.take().expect("sources() already taken"),
+                shared: Arc::clone(&self.shared),
+                since_credit: 0,
+                capacity: self.shared.inputs[i].capacity,
+            })
+            .collect()
+    }
+
+    /// The server's private session tracer (session/credit/queue events).
+    pub fn tracer(&self) -> MutexGuard<'_, Tracer> {
+        self.shared.tracer.lock().unwrap()
+    }
+
+    /// Stop accepting, sever live sessions, and join the accept loop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        for input in &self.shared.inputs {
+            if let Some(w) = input.writer.lock().unwrap().as_ref() {
+                let _ = w.shutdown(Shutdown::Both);
+            }
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IngestServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let session_shared = Arc::clone(&shared);
+                thread::spawn(move || session(session_shared, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Serve one connection: handshake, then pump data frames into the ring.
+fn session(shared: Arc<ServerShared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let input = match wire::read_frame(&mut stream) {
+        Ok(Some(Frame::Hello { protocol, input })) if protocol == PROTOCOL_VERSION => input,
+        // Wrong version, wrong frame, garbage, or EOF: drop the
+        // connection; there is no session to resume.
+        _ => return,
+    };
+    if input as usize >= shared.inputs.len() {
+        return;
+    }
+    let slot = &shared.inputs[input as usize];
+
+    // Claim the producer. After an unclean disconnect the predecessor
+    // session may still be unwinding, so wait a grace period for it to
+    // hand the producer back rather than rejecting the rejoin.
+    let mut producer = None;
+    for _ in 0..4000 {
+        if let Some(p) = slot.producer.lock().unwrap().take() {
+            producer = Some(p);
+            break;
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        thread::sleep(Duration::from_micros(500));
+    }
+    let Some(mut producer) = producer else { return };
+
+    let resume_seq = slot.next_seq.load(Ordering::Acquire);
+    let welcome = Frame::Welcome {
+        input,
+        resume_seq,
+        resume_stable: Time(slot.acked_stable.load(Ordering::Acquire)),
+        credits: (producer.capacity() - producer.len()) as u32,
+    };
+    if wire::write_frame(&mut stream, &welcome).is_err() {
+        *slot.producer.lock().unwrap() = Some(producer);
+        return;
+    }
+    if let Ok(w) = stream.try_clone() {
+        *slot.writer.lock().unwrap() = Some(w);
+    }
+    shared.trace(TraceEvent::SessionOpened {
+        at: VTime(resume_seq),
+        input,
+        resume_seq,
+    });
+
+    let mut expected = resume_seq;
+    let clean = 'conn: loop {
+        match wire::read_frame(&mut stream) {
+            Ok(Some(Frame::Data { seq, at, element })) => {
+                if seq < expected {
+                    // Duplicate from before the resume point (client
+                    // raced a reconnect); exactly-once by dropping here.
+                    continue;
+                }
+                if seq > expected {
+                    break 'conn false; // gap: protocol violation
+                }
+                let mut item = Item {
+                    seq,
+                    te: TimedElement::new(at, element),
+                };
+                // Ring full ⇒ spin; TCP flow control does the rest.
+                while let Err(back) = producer.push(item) {
+                    item = back;
+                    if shared.shutdown.load(Ordering::Relaxed) {
+                        break 'conn false;
+                    }
+                    thread::sleep(Duration::from_micros(50));
+                }
+                expected += 1;
+                slot.next_seq.store(expected, Ordering::Release);
+                slot.pushes.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Some(Frame::Bye)) => {
+                // Release ordering pairs with the NetSource's Acquire
+                // load: once it sees `finished`, every push is visible.
+                slot.finished.store(true, Ordering::Release);
+                // Acknowledge the close: through a faulty transport a
+                // client's successful *write* of `Bye` does not prove
+                // *delivery*, so it only reports a clean session once
+                // this echo arrives (and resends the `Bye` otherwise).
+                shared.send(input, &Frame::Bye);
+                break 'conn true;
+            }
+            // EOF without Bye: the replica died mid-stream. Leave
+            // `finished` unset — the ring keeps what arrived, and the
+            // replica may rejoin and resume from `next_seq`.
+            Ok(None) => break 'conn false,
+            Ok(Some(_)) => break 'conn false, // wrong frame for this state
+            Err(_) => break 'conn false,      // truncated/corrupt/io
+        }
+    };
+
+    *slot.writer.lock().unwrap() = None;
+    *slot.producer.lock().unwrap() = Some(producer);
+    shared.trace(TraceEvent::SessionClosed {
+        at: VTime(slot.next_seq.load(Ordering::Relaxed)),
+        input,
+        clean,
+    });
+}
+
+/// The merge-side end of one ingest ring: an engine [`Source`] that
+/// blocks until the connected replica delivers (or finishes), grants
+/// credits as it drains, and acks consumed stable points.
+pub struct NetSource {
+    input: u32,
+    consumer: Consumer<Item>,
+    shared: Arc<ServerShared>,
+    since_credit: u32,
+    capacity: u32,
+}
+
+impl NetSource {
+    /// The input id this source feeds.
+    pub fn input(&self) -> u32 {
+        self.input
+    }
+
+    fn after_pop(&mut self, item: &Item) {
+        let slot = &self.shared.inputs[self.input as usize];
+        let pops = slot.pops.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Element::Stable(t) = item.te.element {
+            slot.acked_stable.store(t.0, Ordering::Release);
+            self.shared.send(
+                self.input,
+                &Frame::Ack {
+                    seq: item.seq,
+                    stable: t,
+                },
+            );
+        }
+        self.since_credit += 1;
+        if self.since_credit >= self.shared.credit_batch {
+            let n = self.since_credit;
+            self.since_credit = 0;
+            self.shared.send(self.input, &Frame::Credit { n });
+            let depth = slot.pushes.load(Ordering::Relaxed).saturating_sub(pops) as u32;
+            self.shared.trace(TraceEvent::CreditGranted {
+                at: item.te.at,
+                input: self.input,
+                credits: n,
+            });
+            self.shared.trace(TraceEvent::NetQueueSampled {
+                at: item.te.at,
+                input: self.input,
+                depth,
+                capacity: self.capacity,
+            });
+        }
+    }
+}
+
+impl Source<Value> for NetSource {
+    fn next(&mut self) -> Option<TimedElement<Value>> {
+        loop {
+            // Load `finished` BEFORE popping: if the flag was already set
+            // and the pop still comes up empty, the Release/Acquire pair
+            // guarantees no further item can appear — returning `None` is
+            // race-free. (Popping first then checking the flag could miss
+            // an item pushed between the two.)
+            let finished = self.shared.inputs[self.input as usize]
+                .finished
+                .load(Ordering::Acquire);
+            if let Some(item) = self.consumer.pop() {
+                self.after_pop(&item);
+                return Some(item.te);
+            }
+            if finished || self.shared.shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Deliberately 0: the ring is constant-size preallocated transport
+        // buffering, not merge state, and it is already accounted by the
+        // server tracer's `net_queue_sampled` gauge. Reporting it here
+        // would shift every `memory_sampled` trace line by a constant and
+        // break the byte-identity between networked and in-process runs
+        // of the same feeds.
+        0
+    }
+}
+
+/// Drain every source to completion on worker threads, returning each
+/// input's full timed feed. The convenient path for batch-style runs
+/// (e.g. feeding [`lmerge_engine::run_pipeline`], which wants vectors);
+/// live runs hand the sources to [`lmerge_engine::Query::from_source`]
+/// instead and never materialize the feeds.
+pub fn drain_sources(sources: Vec<NetSource>) -> Vec<Vec<TimedElement<Value>>> {
+    let handles: Vec<_> = sources
+        .into_iter()
+        .map(|mut s| {
+            thread::spawn(move || {
+                let mut feed = Vec::new();
+                while let Some(te) = s.next() {
+                    feed.push(te);
+                }
+                feed
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("drain thread panicked"))
+        .collect()
+}
+
+/// Errors an ingest client/server interaction can surface to callers.
+pub type NetResult<T> = Result<T, WireError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{replay, ReplayConfig};
+
+    fn feed(n: u64) -> Vec<TimedElement<Value>> {
+        let mut v: Vec<TimedElement<Value>> = (0..n)
+            .map(|i| {
+                TimedElement::new(
+                    VTime(i * 10),
+                    Element::insert(Value::bare(i as i32), i as i64, i as i64 + 5),
+                )
+            })
+            .collect();
+        v.push(TimedElement::new(
+            VTime(n * 10),
+            Element::stable(Time::INFINITY),
+        ));
+        v
+    }
+
+    #[test]
+    fn single_input_round_trip() {
+        let mut server = IngestServer::bind("127.0.0.1:0", IngestConfig::new(1)).unwrap();
+        let addr = server.local_addr().to_string();
+        let sent = feed(40);
+        let client_feed = sent.clone();
+        let client = thread::spawn(move || {
+            replay(&addr, &client_feed, &ReplayConfig::new(0)).expect("replay")
+        });
+        let got = drain_sources(server.sources()).remove(0);
+        let outcome = client.join().unwrap();
+        assert!(outcome.clean);
+        assert_eq!(outcome.sent, 41);
+        assert_eq!(got, sent, "elements and stamps survive the socket");
+        let tracer = server.tracer();
+        assert_eq!(tracer.net().inputs()[0].sessions, 1);
+        assert_eq!(tracer.net().inputs()[0].clean_closes, 1);
+        drop(tracer);
+    }
+
+    #[test]
+    fn small_ring_exercises_credit_backpressure() {
+        let config = IngestConfig {
+            inputs: 1,
+            ring_capacity: 8,
+            credit_batch: 4,
+        };
+        let mut server = IngestServer::bind("127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr().to_string();
+        let sent = feed(200);
+        let client_feed = sent.clone();
+        let client = thread::spawn(move || {
+            replay(&addr, &client_feed, &ReplayConfig::new(0)).expect("replay")
+        });
+        let got = drain_sources(server.sources()).remove(0);
+        client.join().unwrap();
+        assert_eq!(got, sent, "nothing lost under a tiny ring");
+        let tracer = server.tracer();
+        assert!(
+            tracer.net().inputs()[0].credits_granted >= 190,
+            "credits flowed: {}",
+            tracer.net().inputs()[0].credits_granted
+        );
+        drop(tracer);
+    }
+
+    #[test]
+    fn bad_version_is_rejected_without_panicking() {
+        let mut server = IngestServer::bind("127.0.0.1:0", IngestConfig::new(1)).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        wire::write_frame(
+            &mut stream,
+            &Frame::Hello {
+                protocol: 999,
+                input: 0,
+            },
+        )
+        .unwrap();
+        // The server drops the connection instead of welcoming us.
+        assert!(matches!(wire::read_frame(&mut stream), Ok(None) | Err(_)));
+        // The input is still claimable by a correct client afterwards.
+        let addr = server.local_addr().to_string();
+        let sent = feed(5);
+        let client_feed = sent.clone();
+        let client =
+            thread::spawn(move || replay(&addr, &client_feed, &ReplayConfig::new(0)).unwrap());
+        let got = drain_sources(server.sources()).remove(0);
+        client.join().unwrap();
+        assert_eq!(got, sent);
+    }
+}

@@ -1,0 +1,640 @@
+//! The versioned, length-prefixed binary wire format.
+//!
+//! Every frame crossing a socket has the same envelope:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `0x4C4D5247` (LE) |
+//! | 4      | 2    | protocol version (LE, currently [`PROTOCOL_VERSION`]) |
+//! | 6      | 1    | frame type |
+//! | 7      | 1    | flags (reserved, must be 0) |
+//! | 8      | 4    | payload length (LE, ≤ [`MAX_PAYLOAD_LEN`]) |
+//! | 12     | n    | payload |
+//! | 12+n   | 8    | FNV-1a 64 checksum of bytes `[0, 12+n)` (LE) |
+//!
+//! The checksum is the workspace's shared [`lmerge_core::hash`] — the same
+//! function that routes shard keys — so its constants are pinned by the
+//! core crate's reference vectors and cannot drift per subsystem.
+//!
+//! Data frames (`insert`/`adjust`/`stable`) carry two transport fields on
+//! top of the element model: a per-session monotone `seq` (the replayer's
+//! feed index — what resume-from-ack arithmetic runs on) and the element's
+//! virtual arrival stamp `at_us`. Shipping the *virtual* time is what
+//! makes networked delivery reproduce the in-process run exactly: the
+//! receiving [`crate::server::NetSource`] re-creates the same
+//! `TimedElement`s the in-process query would have consumed, so the
+//! merge's virtual-time schedule is independent of real socket timing.
+//!
+//! The decoder never panics on hostile input: every malformed, truncated,
+//! oversized, or corrupted frame maps to a typed [`WireError`]
+//! (adversarial coverage lives in `tests/wire_adversarial.rs`).
+
+use bytes::Bytes;
+use lmerge_core::hash::Fnv1a;
+use lmerge_temporal::{Element, Time, VTime, Value};
+use std::io::{Read, Write};
+
+/// Frame magic: `LMRG` interpreted as a little-endian u32.
+pub const MAGIC: u32 = 0x4C4D_5247;
+
+/// The protocol version this build speaks (offered in `hello`, echoed in
+/// `welcome`; a mismatch fails the handshake).
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Envelope bytes before the payload: magic + version + type + flags + len.
+pub const HEADER_LEN: usize = 12;
+
+/// Trailing checksum bytes.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// Hard cap on a frame's payload length. A 1000-byte paper payload plus
+/// transport fields is under 2 KiB, so 1 MiB leaves two orders of
+/// magnitude of headroom while bounding what a hostile length field can
+/// make the receiver allocate.
+pub const MAX_PAYLOAD_LEN: u32 = 1 << 20;
+
+/// Frame type tags (byte 6 of the envelope).
+mod tag {
+    pub const HELLO: u8 = 1;
+    pub const WELCOME: u8 = 2;
+    pub const INSERT: u8 = 3;
+    pub const ADJUST: u8 = 4;
+    pub const STABLE: u8 = 5;
+    pub const CREDIT: u8 = 6;
+    pub const ACK: u8 = 7;
+    pub const BYE: u8 = 8;
+}
+
+/// Typed decode/transport failure. Every hostile input maps here; the
+/// decoder has no panicking paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer or stream ended inside a frame.
+    Truncated,
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic(u32),
+    /// The peer speaks a protocol version this build does not.
+    BadVersion(u16),
+    /// Unknown frame type tag.
+    UnknownType(u8),
+    /// Reserved flags byte was non-zero.
+    BadFlags(u8),
+    /// The length field exceeds [`MAX_PAYLOAD_LEN`].
+    Oversized(u32),
+    /// The trailing checksum does not match the frame bytes.
+    Checksum {
+        /// Checksum computed over the received bytes.
+        expected: u64,
+        /// Checksum the frame carried.
+        got: u64,
+    },
+    /// The payload does not parse as its frame type claims.
+    Malformed(&'static str),
+    /// An I/O error from the underlying stream.
+    Io(std::io::ErrorKind),
+    /// The peer violated the session protocol (wrong frame for the state).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            WireError::BadFlags(x) => write!(f, "reserved flags set: {x:#04x}"),
+            WireError::Oversized(n) => {
+                write!(f, "payload length {n} exceeds cap {MAX_PAYLOAD_LEN}")
+            }
+            WireError::Checksum { expected, got } => {
+                write!(
+                    f,
+                    "checksum mismatch: computed {expected:#018x}, frame carried {got:#018x}"
+                )
+            }
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+            WireError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e.kind())
+    }
+}
+
+/// One decoded wire frame.
+///
+/// The three element kinds collapse into [`Frame::Data`]: transport cares
+/// about `seq`/`at`, not about which kind it is moving, and the encoder
+/// picks the tag from the element itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: open a session for one input.
+    Hello {
+        /// The protocol version the client speaks.
+        protocol: u16,
+        /// The input id this connection will feed.
+        input: u32,
+    },
+    /// Server → client: session accepted; resume/credit state.
+    Welcome {
+        /// Echo of the session's input id.
+        input: u32,
+        /// First frame sequence the server will accept (0 = from the top;
+        /// a rejoining client skips everything below this).
+        resume_seq: u64,
+        /// The last stable point the server durably consumed from this
+        /// input (`Time::MIN` if none) — the paper's catch-up point.
+        resume_stable: Time,
+        /// Initial frame credits (ring slots currently free).
+        credits: u32,
+    },
+    /// A timed stream element (insert, adjust, or stable punctuation).
+    Data {
+        /// Session-monotone sequence number (the feed index).
+        seq: u64,
+        /// The element's virtual arrival time.
+        at: VTime,
+        /// The element itself.
+        element: Element<Value>,
+    },
+    /// Server → client: `n` more frame credits (ring slots freed).
+    Credit {
+        /// Credits granted.
+        n: u32,
+    },
+    /// Server → client: durable-consumption acknowledgement.
+    Ack {
+        /// Highest data sequence consumed by the merge side.
+        seq: u64,
+        /// The stable point that consumption reached.
+        stable: Time,
+    },
+    /// Clean end of stream (either direction).
+    Bye,
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian cursor over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(WireError::Malformed("field past payload end"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload fields"))
+        }
+    }
+}
+
+impl Frame {
+    /// The frame's type tag.
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => tag::HELLO,
+            Frame::Welcome { .. } => tag::WELCOME,
+            Frame::Data { element, .. } => match element {
+                Element::Insert(_) => tag::INSERT,
+                Element::Adjust { .. } => tag::ADJUST,
+                Element::Stable(_) => tag::STABLE,
+            },
+            Frame::Credit { .. } => tag::CREDIT,
+            Frame::Ack { .. } => tag::ACK,
+            Frame::Bye => tag::BYE,
+        }
+    }
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        match self {
+            Frame::Hello { protocol, input } => {
+                put_u16(buf, *protocol);
+                put_u32(buf, *input);
+            }
+            Frame::Welcome {
+                input,
+                resume_seq,
+                resume_stable,
+                credits,
+            } => {
+                put_u32(buf, *input);
+                put_u64(buf, *resume_seq);
+                put_i64(buf, resume_stable.0);
+                put_u32(buf, *credits);
+            }
+            Frame::Data { seq, at, element } => {
+                put_u64(buf, *seq);
+                put_u64(buf, at.0);
+                match element {
+                    Element::Insert(e) => {
+                        put_i64(buf, e.vs.0);
+                        put_i64(buf, e.ve.0);
+                        put_i64(buf, e.payload.key as i64);
+                        put_u32(buf, e.payload.body.len() as u32);
+                        buf.extend_from_slice(&e.payload.body);
+                    }
+                    Element::Adjust {
+                        payload,
+                        vs,
+                        vold,
+                        ve,
+                    } => {
+                        put_i64(buf, vs.0);
+                        put_i64(buf, vold.0);
+                        put_i64(buf, ve.0);
+                        put_i64(buf, payload.key as i64);
+                        put_u32(buf, payload.body.len() as u32);
+                        buf.extend_from_slice(&payload.body);
+                    }
+                    Element::Stable(t) => {
+                        put_i64(buf, t.0);
+                    }
+                }
+            }
+            Frame::Credit { n } => put_u32(buf, *n),
+            Frame::Ack { seq, stable } => {
+                put_u64(buf, *seq);
+                put_i64(buf, stable.0);
+            }
+            Frame::Bye => {}
+        }
+    }
+}
+
+/// Encode one frame, appending its full envelope to `buf`.
+pub fn encode_into(frame: &Frame, buf: &mut Vec<u8>) {
+    let start = buf.len();
+    put_u32(buf, MAGIC);
+    put_u16(buf, PROTOCOL_VERSION);
+    buf.push(frame.tag());
+    buf.push(0); // flags
+    put_u32(buf, 0); // payload length, patched below
+    frame.encode_payload(buf);
+    let payload_len = (buf.len() - start - HEADER_LEN) as u32;
+    buf[start + 8..start + 12].copy_from_slice(&payload_len.to_le_bytes());
+    let mut h = Fnv1a::new();
+    h.update(&buf[start..]);
+    put_u64(buf, h.value());
+}
+
+/// Encode one frame into a fresh buffer.
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + CHECKSUM_LEN + 32);
+    encode_into(frame, &mut buf);
+    buf
+}
+
+fn parse_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
+    let mut c = Cursor::new(payload);
+    let frame = match frame_type {
+        tag::HELLO => Frame::Hello {
+            protocol: c.u16()?,
+            input: c.u32()?,
+        },
+        tag::WELCOME => Frame::Welcome {
+            input: c.u32()?,
+            resume_seq: c.u64()?,
+            resume_stable: Time(c.i64()?),
+            credits: c.u32()?,
+        },
+        tag::INSERT => {
+            let seq = c.u64()?;
+            let at = VTime(c.u64()?);
+            let vs = Time(c.i64()?);
+            let ve = Time(c.i64()?);
+            let key = read_key(&mut c)?;
+            let body = read_body(&mut c)?;
+            Frame::Data {
+                seq,
+                at,
+                element: Element::insert(Value { key, body }, vs, ve),
+            }
+        }
+        tag::ADJUST => {
+            let seq = c.u64()?;
+            let at = VTime(c.u64()?);
+            let vs = Time(c.i64()?);
+            let vold = Time(c.i64()?);
+            let ve = Time(c.i64()?);
+            let key = read_key(&mut c)?;
+            let body = read_body(&mut c)?;
+            Frame::Data {
+                seq,
+                at,
+                element: Element::Adjust {
+                    payload: Value { key, body },
+                    vs,
+                    vold,
+                    ve,
+                },
+            }
+        }
+        tag::STABLE => Frame::Data {
+            seq: c.u64()?,
+            at: VTime(c.u64()?),
+            element: Element::Stable(Time(c.i64()?)),
+        },
+        tag::CREDIT => Frame::Credit { n: c.u32()? },
+        tag::ACK => Frame::Ack {
+            seq: c.u64()?,
+            stable: Time(c.i64()?),
+        },
+        tag::BYE => Frame::Bye,
+        t => return Err(WireError::UnknownType(t)),
+    };
+    c.done()?;
+    Ok(frame)
+}
+
+/// Payload keys travel as i64 for alignment but must fit the i32 field.
+fn read_key(c: &mut Cursor<'_>) -> Result<i32, WireError> {
+    let wide = c.i64()?;
+    i32::try_from(wide).map_err(|_| WireError::Malformed("payload key exceeds i32"))
+}
+
+fn read_body(c: &mut Cursor<'_>) -> Result<Bytes, WireError> {
+    let len = c.u32()? as usize;
+    let body = c
+        .take(len)
+        .map_err(|_| WireError::Malformed("body_len past payload end"))?;
+    Ok(Bytes::from(body.to_vec()))
+}
+
+/// Validate an envelope header, returning `(frame_type, payload_len)`.
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), WireError> {
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let frame_type = header[6];
+    if !(tag::HELLO..=tag::BYE).contains(&frame_type) {
+        return Err(WireError::UnknownType(frame_type));
+    }
+    if header[7] != 0 {
+        return Err(WireError::BadFlags(header[7]));
+    }
+    let payload_len = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if payload_len > MAX_PAYLOAD_LEN {
+        return Err(WireError::Oversized(payload_len));
+    }
+    Ok((frame_type, payload_len))
+}
+
+fn verify_checksum(frame_bytes: &[u8], carried: u64) -> Result<(), WireError> {
+    let mut h = Fnv1a::new();
+    h.update(frame_bytes);
+    if h.value() != carried {
+        return Err(WireError::Checksum {
+            expected: h.value(),
+            got: carried,
+        });
+    }
+    Ok(())
+}
+
+/// Decode one frame from the front of `buf`, returning it and the bytes
+/// consumed. [`WireError::Truncated`] means "not a whole frame yet" — a
+/// streaming caller can read more and retry.
+pub fn decode(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().unwrap();
+    let (frame_type, payload_len) = parse_header(header)?;
+    let total = HEADER_LEN + payload_len as usize + CHECKSUM_LEN;
+    if buf.len() < total {
+        return Err(WireError::Truncated);
+    }
+    let carried = u64::from_le_bytes(buf[total - CHECKSUM_LEN..total].try_into().unwrap());
+    verify_checksum(&buf[..total - CHECKSUM_LEN], carried)?;
+    let frame = parse_payload(frame_type, &buf[HEADER_LEN..total - CHECKSUM_LEN])?;
+    Ok((frame, total))
+}
+
+/// Read one frame from a stream. `Ok(None)` means clean EOF at a frame
+/// boundary; EOF inside a frame is [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let (frame_type, payload_len) = parse_header(&header)?;
+    let mut rest = vec![0u8; payload_len as usize + CHECKSUM_LEN];
+    r.read_exact(&mut rest).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e.kind())
+        }
+    })?;
+    let payload_end = payload_len as usize;
+    let carried = u64::from_le_bytes(rest[payload_end..].try_into().unwrap());
+    let mut h = Fnv1a::new();
+    h.update(&header);
+    h.update(&rest[..payload_end]);
+    if h.value() != carried {
+        return Err(WireError::Checksum {
+            expected: h.value(),
+            got: carried,
+        });
+    }
+    Ok(Some(parse_payload(frame_type, &rest[..payload_end])?))
+}
+
+/// Encode and write one frame to a stream.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    w.write_all(&encode(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                protocol: PROTOCOL_VERSION,
+                input: 2,
+            },
+            Frame::Welcome {
+                input: 2,
+                resume_seq: 17,
+                resume_stable: Time(40),
+                credits: 256,
+            },
+            Frame::Data {
+                seq: 0,
+                at: VTime(120),
+                element: Element::insert(Value::synthetic(7, 1000), 10, 20),
+            },
+            Frame::Data {
+                seq: 1,
+                at: VTime(160),
+                element: Element::adjust(Value::bare(3), Time(10), Time(20), Time(15)),
+            },
+            Frame::Data {
+                seq: 2,
+                at: VTime(200),
+                element: Element::stable(Time::INFINITY),
+            },
+            Frame::Data {
+                seq: 3,
+                at: VTime(210),
+                element: Element::insert(Value::bare(-4), Time::MIN, Time::INFINITY),
+            },
+            Frame::Credit { n: 32 },
+            Frame::Ack {
+                seq: 2,
+                stable: Time(40),
+            },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for f in sample_frames() {
+            let bytes = encode(&f);
+            let (back, used) = decode(&bytes).unwrap_or_else(|e| panic!("{f:?}: {e}"));
+            assert_eq!(back, f);
+            assert_eq!(used, bytes.len(), "whole frame consumed: {f:?}");
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_concatenated() {
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        for f in &frames {
+            encode_into(f, &mut buf);
+        }
+        let mut off = 0;
+        let mut back = Vec::new();
+        while off < buf.len() {
+            let (f, used) = decode(&buf[off..]).expect("stream decodes");
+            back.push(f);
+            off += used;
+        }
+        assert_eq!(back, frames);
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = &buf[..];
+        let mut back = Vec::new();
+        while let Some(f) = read_frame(&mut r).expect("stream decodes") {
+            back.push(f);
+        }
+        assert_eq!(back, frames);
+    }
+
+    #[test]
+    fn infinities_survive_the_wire() {
+        let f = Frame::Data {
+            seq: 9,
+            at: VTime(1),
+            element: Element::<Value>::stable(Time::INFINITY),
+        };
+        let (back, _) = decode(&encode(&f)).unwrap();
+        match back {
+            Frame::Data { element, .. } => assert_eq!(element, Element::stable(Time::INFINITY)),
+            other => panic!("wrong frame: {other:?}"),
+        }
+        let w = Frame::Welcome {
+            input: 0,
+            resume_seq: 0,
+            resume_stable: Time::MIN,
+            credits: 1,
+        };
+        let (back, _) = decode(&encode(&w)).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn checksum_is_the_shared_fnv1a() {
+        // The trailing 8 bytes must equal the core crate's one-shot FNV-1a
+        // over everything before them — pinning the wire checksum to the
+        // same function the shard router uses.
+        let bytes = encode(&Frame::Bye);
+        let body = &bytes[..bytes.len() - CHECKSUM_LEN];
+        let carried = u64::from_le_bytes(bytes[bytes.len() - CHECKSUM_LEN..].try_into().unwrap());
+        assert_eq!(carried, lmerge_core::hash::fnv1a(body));
+    }
+
+    #[test]
+    fn empty_buffer_is_truncated_not_a_panic() {
+        assert_eq!(decode(&[]).unwrap_err(), WireError::Truncated);
+        assert_eq!(decode(&[0x47]).unwrap_err(), WireError::Truncated);
+    }
+}

@@ -207,6 +207,49 @@ pub enum TraceEvent {
         /// The ring's capacity in slots.
         capacity: u32,
     },
+    /// A network ingest session opened (handshake accepted): one remote
+    /// replica is now feeding this input over a socket.
+    SessionOpened {
+        /// Virtual time of the handshake (the session's resume point for a
+        /// rejoin, `VTime::ZERO` for a first connection).
+        at: VTime,
+        /// The input the session feeds.
+        input: u32,
+        /// The first frame sequence number the server expects — 0 for a
+        /// fresh session, the resume point for a rejoin.
+        resume_seq: u64,
+    },
+    /// A network ingest session ended (clean `bye` or connection loss).
+    SessionClosed {
+        /// Virtual time of the last element the session delivered.
+        at: VTime,
+        /// The input the session fed.
+        input: u32,
+        /// Whether the client said `bye` (vs. a reset/mid-frame drop).
+        clean: bool,
+    },
+    /// The ingest server granted frame credits back to a client
+    /// (credit-based backpressure: credits track ring free space).
+    CreditGranted {
+        /// Virtual time of the latest element popped before the grant.
+        at: VTime,
+        /// The input whose client received the credits.
+        input: u32,
+        /// Number of frame credits granted.
+        credits: u32,
+    },
+    /// Periodic sample of one net ingest session's SPSC ring depth
+    /// (occupancy = `depth / capacity`; what the credit grants key off).
+    NetQueueSampled {
+        /// Virtual sample time.
+        at: VTime,
+        /// The input whose ingest ring was sampled.
+        input: u32,
+        /// Decoded frames in flight between socket reader and merge.
+        depth: u32,
+        /// The ring's capacity in slots.
+        capacity: u32,
+    },
 }
 
 impl TraceEvent {
@@ -223,7 +266,11 @@ impl TraceEvent {
             | TraceEvent::RunCompleted { at }
             | TraceEvent::FaultInjected { at, .. }
             | TraceEvent::InputHealthChanged { at, .. }
-            | TraceEvent::ShardQueueSampled { at, .. } => at,
+            | TraceEvent::ShardQueueSampled { at, .. }
+            | TraceEvent::SessionOpened { at, .. }
+            | TraceEvent::SessionClosed { at, .. }
+            | TraceEvent::CreditGranted { at, .. }
+            | TraceEvent::NetQueueSampled { at, .. } => at,
         }
     }
 
@@ -241,6 +288,10 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::InputHealthChanged { .. } => "input_health_changed",
             TraceEvent::ShardQueueSampled { .. } => "shard_queue_sampled",
+            TraceEvent::SessionOpened { .. } => "session_opened",
+            TraceEvent::SessionClosed { .. } => "session_closed",
+            TraceEvent::CreditGranted { .. } => "credit_granted",
+            TraceEvent::NetQueueSampled { .. } => "net_queue_sampled",
         }
     }
 }
@@ -291,5 +342,38 @@ mod tests {
         assert_eq!(FaultKind::Stall.label(), "stall");
         assert_eq!(HealthTag::Left.label(), "left");
         assert_eq!(HealthTag::Active.label(), "active");
+    }
+
+    #[test]
+    fn net_session_events() {
+        let o = TraceEvent::SessionOpened {
+            at: VTime(5),
+            input: 2,
+            resume_seq: 17,
+        };
+        assert_eq!(o.at(), VTime(5));
+        assert_eq!(o.name(), "session_opened");
+        let c = TraceEvent::SessionClosed {
+            at: VTime(9),
+            input: 2,
+            clean: false,
+        };
+        assert_eq!(c.at(), VTime(9));
+        assert_eq!(c.name(), "session_closed");
+        let g = TraceEvent::CreditGranted {
+            at: VTime(11),
+            input: 0,
+            credits: 32,
+        };
+        assert_eq!(g.at(), VTime(11));
+        assert_eq!(g.name(), "credit_granted");
+        let q = TraceEvent::NetQueueSampled {
+            at: VTime(12),
+            input: 0,
+            depth: 7,
+            capacity: 64,
+        };
+        assert_eq!(q.at(), VTime(12));
+        assert_eq!(q.name(), "net_queue_sampled");
     }
 }

@@ -82,6 +82,27 @@ fn event_json(e: &TraceEvent) -> Json {
                 .set("depth", depth)
                 .set("capacity", capacity);
         }
+        TraceEvent::SessionOpened {
+            input, resume_seq, ..
+        } => {
+            obj.set("input", input).set("resume_seq", resume_seq);
+        }
+        TraceEvent::SessionClosed { input, clean, .. } => {
+            obj.set("input", input).set("clean", clean);
+        }
+        TraceEvent::CreditGranted { input, credits, .. } => {
+            obj.set("input", input).set("credits", credits);
+        }
+        TraceEvent::NetQueueSampled {
+            input,
+            depth,
+            capacity,
+            ..
+        } => {
+            obj.set("input", input)
+                .set("depth", depth)
+                .set("capacity", capacity);
+        }
     }
     obj
 }
@@ -102,6 +123,12 @@ const OUTPUT_TID: u32 = 0;
 /// `SHARD_TID_BASE + s` (inputs occupy `1..`, so shards stay clear of any
 /// realistic input count).
 const SHARD_TID_BASE: u32 = 1000;
+
+/// Network session lanes render above the shard lanes: input `i`'s ingest
+/// session is thread `NET_TID_BASE + i`, keeping socket-side events
+/// (handshakes, credits, ring depth) visually separate from the same
+/// input's virtual-time delivery lane.
+const NET_TID_BASE: u32 = 2000;
 
 fn chrome_instant(name: &str, ts: u64, tid: u32, args: Json) -> Json {
     Json::object()
@@ -250,6 +277,64 @@ pub fn to_chrome_trace<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> Stri
                     &format!("queue[shard {shard}]"),
                     ts,
                     SHARD_TID_BASE + shard,
+                    depth as i64,
+                ));
+            }
+            TraceEvent::SessionOpened {
+                input, resume_seq, ..
+            } => {
+                name_thread(
+                    &mut trace,
+                    NET_TID_BASE + input,
+                    format!("net input {input}"),
+                );
+                trace.push(chrome_instant(
+                    "session open",
+                    ts,
+                    NET_TID_BASE + input,
+                    Json::object().with("resume_seq", resume_seq),
+                ));
+            }
+            TraceEvent::SessionClosed { input, clean, .. } => {
+                name_thread(
+                    &mut trace,
+                    NET_TID_BASE + input,
+                    format!("net input {input}"),
+                );
+                trace.push(chrome_instant(
+                    if clean {
+                        "session close"
+                    } else {
+                        "session lost"
+                    },
+                    ts,
+                    NET_TID_BASE + input,
+                    Json::object().with("clean", clean),
+                ));
+            }
+            TraceEvent::CreditGranted { input, credits, .. } => {
+                name_thread(
+                    &mut trace,
+                    NET_TID_BASE + input,
+                    format!("net input {input}"),
+                );
+                trace.push(chrome_counter_on(
+                    &format!("credits[input {input}]"),
+                    ts,
+                    NET_TID_BASE + input,
+                    credits as i64,
+                ));
+            }
+            TraceEvent::NetQueueSampled { input, depth, .. } => {
+                name_thread(
+                    &mut trace,
+                    NET_TID_BASE + input,
+                    format!("net input {input}"),
+                );
+                trace.push(chrome_counter_on(
+                    &format!("queue[net input {input}]"),
+                    ts,
+                    NET_TID_BASE + input,
                     depth as i64,
                 ));
             }
@@ -419,6 +504,27 @@ mod tests {
                 shard: 2,
                 depth: 5,
                 capacity: 64,
+            },
+            TraceEvent::SessionOpened {
+                at: VTime(26),
+                input: 1,
+                resume_seq: 40,
+            },
+            TraceEvent::CreditGranted {
+                at: VTime(27),
+                input: 1,
+                credits: 16,
+            },
+            TraceEvent::NetQueueSampled {
+                at: VTime(28),
+                input: 1,
+                depth: 3,
+                capacity: 64,
+            },
+            TraceEvent::SessionClosed {
+                at: VTime(29),
+                input: 1,
+                clean: true,
             },
         ]
     }

@@ -51,6 +51,7 @@ pub mod export;
 pub mod hist;
 pub mod json;
 pub mod lag;
+pub mod net;
 pub mod ring;
 pub mod shard;
 pub mod sink;
@@ -58,6 +59,7 @@ pub mod sink;
 pub use event::{ElementKind, FaultKind, HealthTag, StableScope, TraceEvent};
 pub use hist::LogHistogram;
 pub use lag::{InputLag, LagGauges};
+pub use net::{NetGauges, NetLag};
 pub use ring::EventRing;
 pub use shard::{ShardGauges, ShardLag};
 pub use sink::{NullSink, TraceConfig, TraceSink, Tracer};

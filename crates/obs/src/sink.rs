@@ -10,6 +10,7 @@
 use crate::event::TraceEvent;
 use crate::export;
 use crate::lag::LagGauges;
+use crate::net::NetGauges;
 use crate::ring::EventRing;
 use crate::shard::ShardGauges;
 
@@ -73,6 +74,7 @@ pub struct Tracer {
     ring: EventRing,
     lag: LagGauges,
     shards: ShardGauges,
+    net: NetGauges,
 }
 
 impl Tracer {
@@ -87,6 +89,7 @@ impl Tracer {
             ring: EventRing::new(config.capacity),
             lag: LagGauges::default(),
             shards: ShardGauges::default(),
+            net: NetGauges::default(),
         }
     }
 
@@ -109,6 +112,13 @@ impl Tracer {
     /// used the sharded pipeline).
     pub fn shards(&self) -> &ShardGauges {
         &self.shards
+    }
+
+    /// The per-input network-session gauges accumulated so far (all-zero
+    /// unless the run's inputs arrived through the lmerge-net ingest
+    /// server).
+    pub fn net(&self) -> &NetGauges {
+        &self.net
     }
 
     /// Export the retained events as JSON-lines (one object per line).
@@ -143,6 +153,7 @@ impl TraceSink for Tracer {
     fn record(&mut self, event: TraceEvent) {
         self.lag.on_event(&event);
         self.shards.on_event(&event);
+        self.net.on_event(&event);
         self.ring.push(event);
     }
 }

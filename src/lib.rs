@@ -42,11 +42,15 @@
 //! * [`chaos`] — deterministic fault injection (crash, rejoin, duplicate,
 //!   reorder, frozen stables, stalls, overflow) and the differential
 //!   conformance harness that replays one fault plan across the spectrum.
+//! * [`net`] — wire protocol + TCP ingest/egress: physically independent
+//!   replicas feeding LMerge over real sockets, with credit backpressure,
+//!   crash/resume sessions, and a fault-injecting chaos proxy.
 
 pub use lmerge_chaos as chaos;
 pub use lmerge_core as core;
 pub use lmerge_engine as engine;
 pub use lmerge_gen as gen;
+pub use lmerge_net as net;
 pub use lmerge_obs as obs;
 pub use lmerge_properties as properties;
 pub use lmerge_temporal as temporal;

@@ -1,0 +1,326 @@
+//! Loopback differential matrix: networked delivery over real TCP must be
+//! **byte-identical** to in-process delivery.
+//!
+//! The paper's premise is that LMerge's inputs are physically independent;
+//! the lmerge-net subsystem makes that literal by shipping each replica's
+//! feed over its own socket. These tests pin the crate's central
+//! invariant: because virtual arrival times travel inside the frames, a
+//! networked run consumes exactly the `TimedElement` sequence an
+//! in-process run does, so the merged output — and the full obs trace —
+//! match byte for byte, for every variant of the spectrum, through a
+//! crash-and-rejoin, and through a fault-injecting proxy.
+
+use lmerge::chaos::{
+    general_feeds, restricted_feeds, ChaosConfig, ChaosInjector, Chunker, Variant, ALL_VARIANTS,
+};
+use lmerge::engine::{
+    run_pipeline, MergeRun, Operator, PipeItem, PipelineConfig, Query, RunConfig, TimedElement,
+};
+use lmerge::net::client::{replay, replay_until_clean, ReplayConfig};
+use lmerge::net::egress::NetHooks;
+use lmerge::net::proxy::{ChaosProxy, ProxyPlan};
+use lmerge::net::server::{drain_sources, IngestConfig, IngestServer};
+use lmerge::obs::Tracer;
+use lmerge::properties::RLevel;
+use lmerge::temporal::{Element, StreamId, Value};
+use std::thread;
+
+/// How each input's replica reaches the server in a networked run.
+enum ClientPlan {
+    /// Connect directly and stream to completion.
+    Direct,
+    /// Crash (sever without `Bye`) after this many frames, then rejoin
+    /// and resume from the server's acked offset.
+    KillThenResume(u64),
+    /// Connect through a chaos proxy driving this fault plan.
+    Proxied(ProxyPlan),
+}
+
+/// The comparable results of one run (either delivery path).
+struct RunResult {
+    output: Vec<Element<Value>>,
+    trace_jsonl: String,
+    violations: usize,
+    checks: usize,
+    tdb_matches: bool,
+    /// Proxy faults that actually fired during this run (0 when no
+    /// proxies were involved).
+    faults_applied: usize,
+}
+
+fn feeds_for(
+    variant: Variant,
+    cfg: &ChaosConfig,
+) -> (lmerge::temporal::Tdb<Value>, Vec<Vec<TimedElement<Value>>>) {
+    if variant.level() >= RLevel::R3 {
+        general_feeds(cfg)
+    } else {
+        restricted_feeds(cfg)
+    }
+}
+
+/// Run `variant` with the feeds delivered in-process (the baseline). The
+/// hooks stack — `NetHooks` wrapping a clean-plan `ChaosInjector` oracle —
+/// is identical to the networked run's, so the executor walks the same
+/// code path on both sides of the differential.
+fn run_in_process(
+    variant: Variant,
+    cfg: &ChaosConfig,
+    reference: &lmerge::temporal::Tdb<Value>,
+    feeds: &[Vec<TimedElement<Value>>],
+) -> RunResult {
+    let queries: Vec<Query<Value>> = feeds
+        .iter()
+        .map(|f| {
+            let chain: Vec<Box<dyn Operator<Value>>> = vec![Box::new(Chunker::new(cfg.chunk))];
+            Query::new(f.clone(), chain)
+        })
+        .collect();
+    let merge = variant.build(cfg.n_inputs, cfg.robustness);
+    let mut hooks = NetHooks::wrap(ChaosInjector::oracle(variant.level(), feeds));
+    let mut tracer = Tracer::new();
+    MergeRun::new(queries, merge, RunConfig::default()).run_with_hooks(&mut tracer, &mut hooks);
+    finish(hooks, tracer, reference)
+}
+
+/// Run `variant` with each feed streamed over its own TCP connection.
+fn run_networked(
+    variant: Variant,
+    cfg: &ChaosConfig,
+    reference: &lmerge::temporal::Tdb<Value>,
+    feeds: &[Vec<TimedElement<Value>>],
+    plans: Vec<ClientPlan>,
+) -> RunResult {
+    assert_eq!(plans.len(), feeds.len());
+    let mut server = IngestServer::bind("127.0.0.1:0", IngestConfig::new(feeds.len()))
+        .expect("bind ingest server");
+    let server_addr = server.local_addr();
+
+    let clients: Vec<_> = plans
+        .into_iter()
+        .enumerate()
+        .map(|(i, plan)| {
+            let feed = feeds[i].clone();
+            thread::spawn(move || match plan {
+                ClientPlan::Direct => {
+                    let out = replay_until_clean(
+                        &server_addr.to_string(),
+                        &feed,
+                        &ReplayConfig::new(i as u32),
+                        10,
+                    )
+                    .expect("direct replay");
+                    assert!(out.clean);
+                    0
+                }
+                ClientPlan::KillThenResume(kill_at) => {
+                    let addr = server_addr.to_string();
+                    let crashed = replay(
+                        &addr,
+                        &feed,
+                        &ReplayConfig::new(i as u32).with_kill_after(kill_at),
+                    )
+                    .expect("crash session");
+                    assert!(!crashed.clean, "the kill really severed the session");
+                    assert_eq!(crashed.sent, kill_at);
+                    let resumed =
+                        replay_until_clean(&addr, &feed, &ReplayConfig::new(i as u32), 10)
+                            .expect("rejoin");
+                    assert!(resumed.clean);
+                    assert!(
+                        resumed.resumed_from >= kill_at.saturating_sub(1),
+                        "welcome carried the crash point: resumed_from={} kill_at={kill_at}",
+                        resumed.resumed_from
+                    );
+                    0
+                }
+                ClientPlan::Proxied(plan) => {
+                    let proxy = ChaosProxy::spawn(server_addr, plan).expect("spawn proxy");
+                    let out = replay_until_clean(
+                        &proxy.local_addr().to_string(),
+                        &feed,
+                        &ReplayConfig::new(i as u32),
+                        50,
+                    )
+                    .expect("proxied replay");
+                    assert!(out.clean);
+                    proxy.applied()
+                }
+            })
+        })
+        .collect();
+
+    let queries: Vec<Query<Value>> = server
+        .sources()
+        .into_iter()
+        .map(|src| {
+            let chain: Vec<Box<dyn Operator<Value>>> = vec![Box::new(Chunker::new(cfg.chunk))];
+            Query::from_source(Box::new(src), chain)
+        })
+        .collect();
+    let merge = variant.build(cfg.n_inputs, cfg.robustness);
+    let mut hooks = NetHooks::wrap(ChaosInjector::oracle(variant.level(), feeds));
+    let mut tracer = Tracer::new();
+    MergeRun::new(queries, merge, RunConfig::default()).run_with_hooks(&mut tracer, &mut hooks);
+
+    let faults_applied: usize = clients.into_iter().map(|c| c.join().expect("client")).sum();
+    server.shutdown();
+    let mut result = finish(hooks, tracer, reference);
+    result.faults_applied = faults_applied;
+    result
+}
+
+fn finish(
+    hooks: NetHooks<ChaosInjector>,
+    tracer: Tracer,
+    reference: &lmerge::temporal::Tdb<Value>,
+) -> RunResult {
+    let (output, mut oracle) = hooks.into_parts();
+    oracle.check_now();
+    RunResult {
+        output,
+        trace_jsonl: tracer.to_jsonl(),
+        violations: oracle.violations().len(),
+        checks: oracle.checks(),
+        tdb_matches: oracle.output().tdb() == reference,
+        faults_applied: 0,
+    }
+}
+
+fn assert_identical(variant: Variant, base: &RunResult, net: &RunResult) {
+    assert_eq!(
+        base.output,
+        net.output,
+        "{}: networked output diverged from in-process",
+        variant.name()
+    );
+    assert_eq!(
+        base.trace_jsonl,
+        net.trace_jsonl,
+        "{}: networked trace diverged from in-process",
+        variant.name()
+    );
+    assert_eq!(net.violations, 0, "{}: oracle violations", variant.name());
+    assert_eq!(
+        base.violations,
+        0,
+        "{}: baseline violations",
+        variant.name()
+    );
+    assert!(net.checks > 0, "{}: oracle never checked", variant.name());
+    assert!(net.tdb_matches, "{}: TDB mismatch", variant.name());
+    assert!(
+        !base.output.is_empty(),
+        "{}: differential is vacuous",
+        variant.name()
+    );
+}
+
+#[test]
+fn loopback_matrix_matches_in_process_for_all_variants() {
+    let cfg = ChaosConfig::small(11);
+    for variant in ALL_VARIANTS {
+        let (reference, feeds) = feeds_for(variant, &cfg);
+        let base = run_in_process(variant, &cfg, &reference, &feeds);
+        let plans = (0..feeds.len()).map(|_| ClientPlan::Direct).collect();
+        let net = run_networked(variant, &cfg, &reference, &feeds, plans);
+        assert_identical(variant, &base, &net);
+    }
+}
+
+#[test]
+fn kill_and_rejoin_resumes_exactly_once() {
+    let cfg = ChaosConfig::small(23);
+    let variant = Variant::R3;
+    let (reference, feeds) = feeds_for(variant, &cfg);
+    assert!(
+        feeds[0].len() > 60,
+        "feed long enough to kill mid-stream ({} elements)",
+        feeds[0].len()
+    );
+    let base = run_in_process(variant, &cfg, &reference, &feeds);
+    let plans = vec![
+        ClientPlan::KillThenResume(40),
+        ClientPlan::Direct,
+        ClientPlan::KillThenResume(15),
+    ];
+    let net = run_networked(variant, &cfg, &reference, &feeds, plans);
+    assert_identical(variant, &base, &net);
+}
+
+#[test]
+fn proxy_faults_do_not_perturb_the_merge() {
+    let cfg = ChaosConfig::small(37);
+    let variant = Variant::R4;
+    let (reference, feeds) = feeds_for(variant, &cfg);
+    let base = run_in_process(variant, &cfg, &reference, &feeds);
+    let plans = (0..feeds.len() as u64)
+        .map(|i| ClientPlan::Proxied(ProxyPlan::seeded(1000 + i, 6_000, 5)))
+        .collect();
+    let net = run_networked(variant, &cfg, &reference, &feeds, plans);
+    assert!(
+        net.faults_applied > 0,
+        "the proxies really disturbed the transport ({} faults)",
+        net.faults_applied
+    );
+    assert_identical(variant, &base, &net);
+}
+
+#[test]
+fn drained_net_feeds_drive_the_sharded_pipeline() {
+    let cfg = ChaosConfig::small(53);
+    let variant = Variant::R3;
+    let (_reference, feeds) = feeds_for(variant, &cfg);
+
+    // Stream the feeds over TCP, collect them back with drain_sources.
+    let mut server =
+        IngestServer::bind("127.0.0.1:0", IngestConfig::new(feeds.len())).expect("bind");
+    let addr = server.local_addr().to_string();
+    let clients: Vec<_> = feeds
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, feed)| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                replay_until_clean(&addr, &feed, &ReplayConfig::new(i as u32), 5).expect("replay")
+            })
+        })
+        .collect();
+    let drained = drain_sources(server.sources());
+    for c in clients {
+        c.join().unwrap();
+    }
+    server.shutdown();
+    assert_eq!(drained, feeds, "network drain reproduces the feeds exactly");
+
+    // Interleave by virtual arrival (ties by input, the executor's own
+    // ordering) and push the result through the sharded pipeline.
+    let mut interleaved: Vec<(u64, u32, Element<Value>)> = drained
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, feed)| {
+            feed.into_iter()
+                .map(move |te| (te.at.0, i as u32, te.element))
+        })
+        .collect();
+    interleaved.sort_by_key(|&(at, input, _)| (at, input));
+    let pipe_feed: Vec<PipeItem<Value>> = interleaved
+        .into_iter()
+        .map(|(_, input, e)| PipeItem::Deliver(StreamId(input), e))
+        .collect();
+    let pipe = run_pipeline(
+        || variant.build(cfg.n_inputs, cfg.robustness),
+        &pipe_feed,
+        PipelineConfig {
+            shards: 2,
+            queue_capacity: 64,
+            sample_every: 1024,
+        },
+        &mut lmerge::obs::NullSink,
+    );
+    assert!(
+        !pipe.output.is_empty(),
+        "networked feeds drive the sharded pipeline end to end"
+    );
+}
