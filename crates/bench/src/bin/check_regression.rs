@@ -3,8 +3,8 @@
 //!
 //! Usage: `cargo run --release -p lmerge-bench --bin check_regression`
 //!
-//! The checked figures (fig2, shard_scaling, and net_loopback) are
-//! regenerated
+//! The checked figures (fig2, shard_scaling, net_loopback, and
+//! obs_overhead) are regenerated
 //! **in-process at default scale** — the same scale the committed
 //! baselines were produced at — so the comparison is apples-to-apples
 //! even when the surrounding CI job runs other benches in quick mode.
@@ -19,7 +19,10 @@
 //! * the shard-scaling acceptance bar — the *committed*
 //!   `BENCH_shard_scaling.json` must show a `K = 4` critical-path
 //!   speedup of at least 2.5x over `K = 1` (checked on the committed
-//!   file, which is timing-free at check time).
+//!   file, which is timing-free at check time);
+//! * the telemetry-overhead bar — the committed `BENCH_obs_overhead.json`
+//!   must show instrumented throughput at least 0.95x the uninstrumented
+//!   drive (same committed-file discipline).
 //!
 //! Exit status is non-zero on any violation, so the bench-smoke CI job
 //! fails loudly instead of letting perf rot ride along.
@@ -157,11 +160,37 @@ fn check_scaling_bar(gate: &mut Gate) -> Result<(), String> {
     Ok(())
 }
 
+/// The committed telemetry-overhead record must clear the acceptance bar:
+/// instrumented throughput at least 0.95x the uninstrumented drive.
+fn check_overhead_bar(gate: &mut Gate) -> Result<(), String> {
+    let base = load_baseline("obs_overhead")?;
+    let eps = |label: &str| {
+        base.iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, m)| m.throughput_eps)
+            .ok_or_else(|| format!("BENCH_obs_overhead.json: no {label} record"))
+    };
+    let bare = eps("uninstrumented")?;
+    let live = eps("instrumented")?;
+    gate.checked += 1;
+    let ratio = if bare > 0.0 { live / bare } else { 0.0 };
+    if ratio < 0.95 {
+        gate.violations.push(format!(
+            "obs_overhead: committed instrumented/uninstrumented ratio {ratio:.3} \
+             below the 0.95 bar"
+        ));
+    } else {
+        println!("obs_overhead: committed telemetry ratio {ratio:.3} (bar: 0.95)");
+    }
+    Ok(())
+}
+
 fn main() {
     println!("regenerating checked figures at default scale...");
     let fig2 = lmerge_bench::figs::fig2::report();
     let scaling = lmerge_bench::figs::shard_scaling::report();
     let net = lmerge_bench::figs::net_loopback::report();
+    let obs = lmerge_bench::figs::obs_overhead::report();
 
     let mut gate = Gate {
         violations: Vec::new(),
@@ -172,12 +201,16 @@ fn main() {
         ("fig2", &fig2),
         ("shard_scaling", &scaling),
         ("net_loopback", &net),
+        ("obs_overhead", &obs),
     ] {
         if let Err(e) = gate.diff(id, fresh) {
             errors.push(e);
         }
     }
     if let Err(e) = check_scaling_bar(&mut gate) {
+        errors.push(e);
+    }
+    if let Err(e) = check_overhead_bar(&mut gate) {
         errors.push(e);
     }
 

@@ -1,0 +1,6 @@
+//! Regenerates the telemetry-overhead result. See
+//! `lmerge_bench::figs::obs_overhead`.
+
+fn main() {
+    lmerge_bench::figs::obs_overhead::report().emit();
+}

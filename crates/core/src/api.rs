@@ -161,6 +161,14 @@ pub trait LogicalMerge<P: Payload> {
         InputHealth::Active
     }
 
+    /// Lifetime health-transition counts (quarantines by a robustness
+    /// policy, restores, departures) across all inputs — the core-side
+    /// hook the live telemetry plane exports. The default reports zeros;
+    /// variants with an input registry override it.
+    fn health_transitions(&self) -> crate::inputs::HealthTransitions {
+        crate::inputs::HealthTransitions::default()
+    }
+
     /// Estimated operator memory: index structures plus retained payload
     /// bytes (the metric of the paper's Figures 2, 6, and 7).
     fn memory_bytes(&self) -> usize;

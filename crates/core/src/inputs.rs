@@ -39,10 +39,24 @@ impl From<InputState> for crate::api::InputHealth {
     }
 }
 
+/// Lifetime transition counters of one registry — the raw material for the
+/// telemetry plane's quarantine/demotion series. Counters only ever grow;
+/// they survive restores and re-quarantines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthTransitions {
+    /// Active → Quarantined transitions (robustness-policy demotions).
+    pub quarantines: u64,
+    /// Quarantined → Active transitions (stragglers that caught back up).
+    pub restores: u64,
+    /// Transitions into Left (detaches of a live stream).
+    pub departures: u64,
+}
+
 /// Registry of LMerge input streams.
 #[derive(Clone, Debug, Default)]
 pub struct Inputs {
     states: Vec<InputState>,
+    transitions: HealthTransitions,
 }
 
 impl Inputs {
@@ -50,6 +64,7 @@ impl Inputs {
     pub fn new(n: usize) -> Inputs {
         Inputs {
             states: vec![InputState::Active; n],
+            transitions: HealthTransitions::default(),
         }
     }
 
@@ -69,6 +84,9 @@ impl Inputs {
     /// Mark a stream as left. Idempotent; unknown ids are ignored.
     pub fn detach(&mut self, id: StreamId) {
         if let Some(s) = self.states.get_mut(id.0 as usize) {
+            if *s != InputState::Left {
+                self.transitions.departures += 1;
+            }
             *s = InputState::Left;
         }
     }
@@ -92,6 +110,7 @@ impl Inputs {
         match self.states.get_mut(id.0 as usize) {
             Some(s) if *s == InputState::Active => {
                 *s = InputState::Quarantined;
+                self.transitions.quarantines += 1;
                 true
             }
             _ => false,
@@ -104,10 +123,17 @@ impl Inputs {
         match self.states.get_mut(id.0 as usize) {
             Some(s) if *s == InputState::Quarantined => {
                 *s = InputState::Active;
+                self.transitions.restores += 1;
                 true
             }
             _ => false,
         }
+    }
+
+    /// Lifetime health-transition counts (quarantines, restores,
+    /// departures) — monotone, unaffected by later state changes.
+    pub fn transitions(&self) -> HealthTransitions {
+        self.transitions
     }
 
     /// State of a stream (unknown ids read as `Left`).
@@ -219,6 +245,28 @@ mod tests {
         assert_eq!(inputs.live(), 2, "quarantined streams stay attached");
         assert!(inputs.restore(StreamId(1)));
         assert!(inputs.accepts_stable(StreamId(1)));
+    }
+
+    #[test]
+    fn transition_counters_track_lifecycle() {
+        let mut inputs = Inputs::new(3);
+        assert_eq!(inputs.transitions(), HealthTransitions::default());
+        inputs.quarantine(StreamId(0));
+        inputs.quarantine(StreamId(1));
+        inputs.restore(StreamId(0));
+        inputs.quarantine(StreamId(0)); // re-quarantine counts again
+        inputs.detach(StreamId(2));
+        inputs.detach(StreamId(2)); // idempotent detach counts once
+        let t = inputs.transitions();
+        assert_eq!(t.quarantines, 3);
+        assert_eq!(t.restores, 1);
+        assert_eq!(t.departures, 1);
+        // Failed transitions don't count.
+        inputs.quarantine(StreamId(2));
+        inputs.restore(StreamId(1));
+        inputs.restore(StreamId(1));
+        assert_eq!(inputs.transitions().quarantines, 3);
+        assert_eq!(inputs.transitions().restores, 2);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub use api::{BatchMeta, InputHealth, LogicalMerge};
 pub use det::{DetBuildHasher, DetHashMap};
 pub use hash::{fnv1a, Fnv1a};
 pub use in2t::SweepAction;
+pub use inputs::{HealthTransitions, InputState, Inputs};
 pub use mem::hash_table_bytes;
 pub use merge::{merge_streams, Interleave};
 pub use policy::{AdjustPolicy, InsertPolicy, MergePolicy, RobustnessPolicy, StablePolicy};

@@ -104,6 +104,10 @@ impl<P: Payload> LogicalMerge<P> for LMergeR0<P> {
         self.inputs.state(input).into()
     }
 
+    fn health_transitions(&self) -> crate::inputs::HealthTransitions {
+        self.inputs.transitions()
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + self.inputs.memory_bytes() + self.per_input.memory_bytes()
     }

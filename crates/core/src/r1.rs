@@ -128,6 +128,10 @@ impl<P: Payload> LogicalMerge<P> for LMergeR1<P> {
         self.inputs.state(input).into()
     }
 
+    fn health_transitions(&self) -> crate::inputs::HealthTransitions {
+        self.inputs.transitions()
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.same_vs_count.capacity() * std::mem::size_of::<u64>()

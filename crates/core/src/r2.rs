@@ -150,6 +150,10 @@ impl<P: Payload> LogicalMerge<P> for LMergeR2<P> {
         self.inputs.state(input).into()
     }
 
+    fn health_transitions(&self) -> crate::inputs::HealthTransitions {
+        self.inputs.transitions()
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.at_max_vs.capacity() * std::mem::size_of::<P>()

@@ -269,6 +269,10 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3Naive<P> {
         self.inputs.state(input).into()
     }
 
+    fn health_transitions(&self) -> crate::inputs::HealthTransitions {
+        self.inputs.transitions()
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self

@@ -436,6 +436,10 @@ impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
         self.inputs.state(input).into()
     }
 
+    fn health_transitions(&self) -> crate::inputs::HealthTransitions {
+        self.inputs.transitions()
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.index.memory_bytes()

@@ -336,6 +336,20 @@ impl<P: Payload> LogicalMerge<P> for ShardedLMerge<P> {
         self.inputs.state(input).into()
     }
 
+    fn health_transitions(&self) -> crate::inputs::HealthTransitions {
+        // Router-level transitions plus every shard's policy-driven ones:
+        // the counters are additive, so the sum tells the operator how much
+        // robustness-policy activity the whole sharded operator saw.
+        let mut t = self.inputs.transitions();
+        for s in &self.shards {
+            let st = s.health_transitions();
+            t.quarantines += st.quarantines;
+            t.restores += st.restores;
+            t.departures += st.departures;
+        }
+        t
+    }
+
     fn memory_bytes(&self) -> usize {
         let elem = std::mem::size_of::<Element<P>>();
         std::mem::size_of::<Self>()

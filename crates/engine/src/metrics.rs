@@ -101,6 +101,12 @@ impl RunMetrics {
     /// nearest-rank definition: the sample at rank `⌈q·n⌉`. (The previous
     /// index-rounding selection could underestimate high quantiles — e.g.
     /// p91 of ten samples picked the 9th, not the 10th.)
+    ///
+    /// Pinned edge semantics: an empty histogram reports 0 for every `q`
+    /// (no sentinel, no panic); `q` outside `[0, 1]` clamps to the
+    /// observed min/max; saturated top-bucket samples (up to `u64::MAX`)
+    /// report the exact max at the extreme ranks and clamp interior ranks
+    /// to the observed range.
     pub fn latency_quantile_us(&self, q: f64) -> u64 {
         self.latency.quantile(q)
     }
@@ -204,5 +210,28 @@ mod tests {
         assert_eq!(m.latency_quantile_us(0.99), 0);
         assert_eq!(m.throughput_eps(), 0.0);
         assert_eq!(Series::default().coefficient_of_variation(), 0.0);
+    }
+
+    // Pinned: every q — including out-of-range — is 0 on an empty
+    // histogram, so report generators need no emptiness guard.
+    #[test]
+    fn empty_latency_quantiles_are_zero_for_all_q() {
+        let m = RunMetrics::default();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(m.latency_quantile_us(q), 0, "q={q}");
+        }
+    }
+
+    // Pinned: out-of-range q clamps to the observed extremes, and a
+    // saturated sample (u64::MAX µs — a stuck element) reports exactly.
+    #[test]
+    fn latency_quantile_clamps_out_of_range_and_saturated() {
+        let mut m = RunMetrics::default();
+        m.latency.record(5);
+        m.latency.record(u64::MAX);
+        assert_eq!(m.latency_quantile_us(-0.5), 5);
+        assert_eq!(m.latency_quantile_us(2.0), u64::MAX);
+        assert_eq!(m.latency_quantile_us(1.0), u64::MAX);
+        assert_eq!(m.latency_quantile_us(0.0), 5);
     }
 }

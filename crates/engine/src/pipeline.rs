@@ -108,6 +108,14 @@ pub struct PipelineRun<P: Payload> {
     pub router_busy: Duration,
     /// High-water ring depth observed per shard.
     pub max_depth: Vec<usize>,
+    /// Ring-full retries the router spun through (wall-clock backpressure;
+    /// nondeterministic across schedules, so a metric, never a trace
+    /// event).
+    pub router_stalls: u64,
+    /// Epochs whose minimum shard stable failed to advance the output
+    /// watermark — re-sequencing stalls where one shard held the
+    /// aggregate back.
+    pub epoch_stalls: u64,
     /// Stable epochs closed during the run.
     pub epochs: usize,
     /// End-to-end wall-clock time of the run.
@@ -116,14 +124,66 @@ pub struct PipelineRun<P: Payload> {
     pub max_stable: Time,
 }
 
+impl<P: Payload> PipelineRun<P> {
+    /// Fold this run's wall-clock facts into the live telemetry plane.
+    ///
+    /// These are exactly the signals that must *not* be trace events —
+    /// stall counts and busy times vary across thread schedules, and the
+    /// trace is required to be byte-identical regardless of scheduling.
+    pub fn export_metrics(&self, registry: &lmerge_obs::MetricsRegistry) {
+        registry
+            .counter(
+                "lmerge_router_stalls_total",
+                "Full-ring retries the router spun through (backpressure).",
+                &[],
+            )
+            .add(self.router_stalls);
+        registry
+            .counter(
+                "lmerge_epoch_stalls_total",
+                "Epochs where a trailing shard kept the output watermark from advancing.",
+                &[],
+            )
+            .add(self.epoch_stalls);
+        registry
+            .gauge(
+                "lmerge_router_busy_ms",
+                "Wall-clock ms the router spent routing (including backpressure).",
+                &[],
+            )
+            .set(self.router_busy.as_millis() as i64);
+        for (s, depth) in self.max_depth.iter().enumerate() {
+            let n = s.to_string();
+            registry
+                .gauge(
+                    "lmerge_shard_queue_max_depth",
+                    "High-water ring depth observed per shard.",
+                    &[("shard", &n)],
+                )
+                .set(*depth as i64);
+            registry
+                .gauge(
+                    "lmerge_shard_busy_ms",
+                    "Wall-clock ms of merge work accumulated inside each shard worker.",
+                    &[("shard", &n)],
+                )
+                .set(self.shard_busy[s].as_millis() as i64);
+        }
+    }
+}
+
 /// Spin-push with a yield: on a box with fewer cores than workers the
 /// consumer can only drain while we're off-CPU, so busy-spinning would
-/// serialize at scheduler-quantum granularity.
-fn push_or_yield<T: Send>(tx: &mut Producer<T>, mut value: T) {
+/// serialize at scheduler-quantum granularity. Returns the number of
+/// full-ring retries, the router's backpressure signal.
+fn push_or_yield<T: Send>(tx: &mut Producer<T>, mut value: T) -> u64 {
+    let mut stalls = 0;
     while let Err(back) = tx.push(value) {
         value = back;
+        stalls += 1;
         std::thread::yield_now();
     }
+    stalls
 }
 
 /// Run `feed` through `K` shard workers and re-sequence the output.
@@ -150,6 +210,7 @@ pub fn run_pipeline<P: Payload, S: TraceSink>(
 
     let mut max_depth = vec![0usize; k];
     let mut boundaries = 0usize;
+    let mut router_stalls = 0u64;
 
     let (outcomes, router_busy): (Vec<ShardOutcome<P>>, Duration) = std::thread::scope(|scope| {
         let handles: Vec<_> = consumers
@@ -209,24 +270,25 @@ pub fn run_pipeline<P: Payload, S: TraceSink>(
                 PipeItem::Deliver(input, e) => match e.key() {
                     Some((vs, payload)) => {
                         let s = lmerge_core::shard_of(vs, payload, k);
-                        push_or_yield(&mut producers[s], Op::Elem(*input, e.clone()));
+                        router_stalls +=
+                            push_or_yield(&mut producers[s], Op::Elem(*input, e.clone()));
                         max_depth[s] = max_depth[s].max(producers[s].len());
                     }
                     None => {
                         boundaries += 1;
                         for tx in producers.iter_mut() {
-                            push_or_yield(tx, Op::Elem(*input, e.clone()));
+                            router_stalls += push_or_yield(tx, Op::Elem(*input, e.clone()));
                         }
                     }
                 },
                 PipeItem::Detach(id) => {
                     for tx in producers.iter_mut() {
-                        push_or_yield(tx, Op::Detach(*id));
+                        router_stalls += push_or_yield(tx, Op::Detach(*id));
                     }
                 }
                 PipeItem::Attach(t) => {
                     for tx in producers.iter_mut() {
-                        push_or_yield(tx, Op::Attach(*t));
+                        router_stalls += push_or_yield(tx, Op::Attach(*t));
                     }
                 }
             }
@@ -242,7 +304,7 @@ pub fn run_pipeline<P: Payload, S: TraceSink>(
             }
         }
         for tx in producers.iter_mut() {
-            push_or_yield(tx, Op::Close);
+            router_stalls += push_or_yield(tx, Op::Close);
         }
         let router_busy = r0.elapsed();
         drop(producers);
@@ -259,6 +321,7 @@ pub fn run_pipeline<P: Payload, S: TraceSink>(
     let mut watermark = Time::MIN;
     let mut shard_hw = vec![Time::MIN; k];
     let mut stables_out = 0u64;
+    let mut epoch_stalls = 0u64;
     for e in 0..boundaries {
         for oc in &outcomes {
             output.extend_from_slice(&oc.epochs[e]);
@@ -287,6 +350,8 @@ pub fn run_pipeline<P: Payload, S: TraceSink>(
                     stable: watermark,
                 });
             }
+        } else {
+            epoch_stalls += 1;
         }
     }
     for oc in &outcomes {
@@ -315,6 +380,8 @@ pub fn run_pipeline<P: Payload, S: TraceSink>(
         shard_busy: outcomes.iter().map(|o| o.busy).collect(),
         router_busy,
         max_depth,
+        router_stalls,
+        epoch_stalls,
         epochs: boundaries,
         wall: start.elapsed(),
         max_stable: watermark,
@@ -457,6 +524,42 @@ mod tests {
         assert_eq!(tracer.shards().watermark(), run.max_stable);
         assert_eq!(tracer.shards().shards().len(), 2);
         assert!(tracer.shards().shards().iter().all(|s| s.capacity == 4));
+    }
+
+    #[test]
+    fn metered_run_feeds_live_series_without_changing_the_trace() {
+        use lmerge_obs::{EngineMetrics, MeteredSink, MetricsRegistry};
+        let cfg = PipelineConfig {
+            shards: 2,
+            queue_capacity: 4,
+            sample_every: 2,
+        };
+        let mut plain = Tracer::new();
+        let baseline = run_pipeline(factory, &feed(), cfg, &mut plain);
+
+        let registry = MetricsRegistry::new();
+        let mut metered = MeteredSink::new(Tracer::new(), EngineMetrics::new(&registry));
+        let run = run_pipeline(factory, &feed(), cfg, &mut metered);
+        run.export_metrics(&registry);
+
+        // Trace purity: the metered run's trace is byte-identical.
+        assert_eq!(plain.to_jsonl(), metered.inner().to_jsonl());
+        assert_eq!(
+            format!("{:?}", baseline.output),
+            format!("{:?}", run.output)
+        );
+
+        // And the live series filled in.
+        assert!(registry.max_value("lmerge_shard_queue_depth").is_some());
+        // The +∞ sentinel is clamped by the metrics bridge so a gauge
+        // (and the f64 exposition) can carry it.
+        assert_eq!(
+            registry.max_value("lmerge_output_stable"),
+            Some((i64::MAX - 1) as f64)
+        );
+        assert!(registry.max_value("lmerge_epoch_stalls_total").is_some());
+        assert!(registry.max_value("lmerge_router_stalls_total").is_some());
+        assert!(registry.max_value("lmerge_shard_busy_ms").is_some());
     }
 
     #[test]

@@ -2,21 +2,29 @@
 //! write the merged stream (as wire `Data` frames) to a file.
 //!
 //! ```text
-//! lmerge-ingest --addr 127.0.0.1:7171 --inputs 3 --level r3 --out merged.bin
+//! lmerge-ingest --addr 127.0.0.1:7171 --inputs 3 --level r3 --out merged.bin \
+//!     --metrics 127.0.0.1:9901
 //! ```
 //!
 //! The process exits once every input has delivered a clean `Bye` and the
 //! merge has drained, printing a run summary (elements emitted, per-input
-//! session/credit gauges) to stdout.
+//! session/credit gauges) to stdout. With `--metrics` a Prometheus scrape
+//! endpoint runs for the life of the process, exposing the live wall-clock
+//! series (per-session net counters, engine gauges, SLO alert state) —
+//! point `lmerge-top` or `curl` at it mid-run.
 
 use lmerge_core::{new_for_level, MergePolicy};
 use lmerge_engine::{MergeRun, Query, RunConfig};
 use lmerge_net::egress::NetHooks;
 use lmerge_net::server::{IngestConfig, IngestServer};
-use lmerge_obs::Tracer;
+use lmerge_obs::{
+    default_rules, AlertEngine, EngineMetrics, MeteredSink, MetricsRegistry, MetricsServer,
+    ScrapeAlerts, TraceSink, Tracer,
+};
 use lmerge_properties::RLevel;
 use std::io::BufWriter;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
 struct Args {
     addr: String,
@@ -25,6 +33,7 @@ struct Args {
     ring: usize,
     credit: u32,
     out: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_level(s: &str) -> Option<RLevel> {
@@ -46,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         ring: 256,
         credit: 32,
         out: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,9 +82,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--credit: {e}"))?
             }
             "--out" => args.out = Some(value("--out")?),
+            "--metrics" => args.metrics = Some(value("--metrics")?),
             "--help" | "-h" => {
                 return Err("usage: lmerge-ingest [--addr HOST:PORT] [--inputs N] \
-                     [--level r0..r4] [--ring SLOTS] [--credit N] [--out FILE]"
+                     [--level r0..r4] [--ring SLOTS] [--credit N] [--out FILE] \
+                     [--metrics HOST:PORT]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -97,7 +109,8 @@ fn main() -> ExitCode {
         ring_capacity: args.ring,
         credit_batch: args.credit,
     };
-    let mut server = match IngestServer::bind(&args.addr, config) {
+    let registry = MetricsRegistry::new();
+    let mut server = match IngestServer::bind_with_metrics(&args.addr, config, &registry) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("bind {}: {e}", args.addr);
@@ -110,6 +123,32 @@ fn main() -> ExitCode {
         args.inputs,
         args.level
     );
+
+    // Alert transitions land in their own tracer: the run tracer is busy
+    // on the merge thread, and alert noise must never perturb the run's
+    // deterministic trace anyway.
+    let alert_tracer = Arc::new(Mutex::new(Tracer::new()));
+    let _metrics_server = match &args.metrics {
+        Some(addr) => {
+            let engine = AlertEngine::new(&registry, default_rules());
+            let sink: Arc<Mutex<dyn TraceSink + Send>> = alert_tracer.clone();
+            match MetricsServer::bind_with_alerts(
+                addr.as_str(),
+                registry.clone(),
+                ScrapeAlerts { engine, sink },
+            ) {
+                Ok(s) => {
+                    println!("metrics on http://{}/metrics", s.local_addr());
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("metrics bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
 
     let queries: Vec<Query<_>> = server
         .sources()
@@ -129,10 +168,19 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut tracer = Tracer::new();
+    // The run tracer stays deterministic; the metered wrapper folds every
+    // event into the live registry on the side.
+    let mut sink = MeteredSink::new(Tracer::new(), EngineMetrics::new(&registry));
     let run = MergeRun::new(queries, lmerge, RunConfig::default());
-    let metrics = run.run_with_hooks(&mut tracer, &mut hooks);
+    let metrics = run.run_with_hooks(&mut sink, &mut hooks);
+    sink.metrics()
+        .set_ring_dropped(sink.inner().ring().dropped());
     let (out, _) = hooks.into_parts();
+
+    // The merge drains at watermark = ∞, which a paced client reaches
+    // while its final `Bye` round trip is still in flight; give the
+    // close handshakes a moment so teardown doesn't sever them.
+    server.await_sessions_closed(std::time::Duration::from_secs(2));
 
     println!(
         "merged {} elements from {} inputs in {} virtual µs",
@@ -148,6 +196,10 @@ fn main() -> ExitCode {
                 lag.sessions, lag.clean_closes, lag.credits_granted, lag.max_depth
             );
         }
+    }
+    if args.metrics.is_some() {
+        let fired = alert_tracer.lock().unwrap().events().count();
+        println!("alert transitions observed: {fired}");
     }
     if let Some(path) = &args.out {
         println!("merged stream written to {path}");

@@ -38,7 +38,7 @@
 use crate::wire::{self, Frame, WireError, PROTOCOL_VERSION};
 use lmerge_core::spsc::{self, Consumer, Producer};
 use lmerge_engine::{Source, TimedElement};
-use lmerge_obs::{TraceEvent, TraceSink, Tracer};
+use lmerge_obs::{Counter, Gauge, MetricsRegistry, TraceEvent, TraceSink, Tracer};
 use lmerge_temporal::{Element, Time, VTime, Value};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -76,6 +76,102 @@ impl IngestConfig {
     }
 }
 
+/// Wall-clock telemetry handles for one input's sessions. These are the
+/// live-ops counterpart of the tracer's deterministic session events:
+/// socket byte counts, spin retries, and corruption counts depend on real
+/// network timing, so they live in registry atomics and never touch the
+/// trace (see "Trace purity" above).
+struct InputNetMetrics {
+    sessions_opened: Counter,
+    resumes: Counter,
+    clean_closes: Counter,
+    lost_closes: Counter,
+    frames: Counter,
+    bytes: Counter,
+    credits: Counter,
+    ring_full_stalls: Counter,
+    checksum_failures: Counter,
+    next_seq: Gauge,
+    queue_depth: Gauge,
+}
+
+/// Per-input live telemetry for an ingest server, pre-registered at bind
+/// so session threads only ever touch lock-free handles.
+pub struct NetMetrics {
+    inputs: Vec<InputNetMetrics>,
+}
+
+impl NetMetrics {
+    /// Register the per-input series (`input` label = input id) in
+    /// `registry` for `inputs` inputs.
+    pub fn new(registry: &MetricsRegistry, inputs: usize) -> NetMetrics {
+        let inputs = (0..inputs)
+            .map(|i| {
+                let id = i.to_string();
+                let l: [(&str, &str); 1] = [("input", id.as_str())];
+                InputNetMetrics {
+                    sessions_opened: registry.counter(
+                        "lmerge_net_sessions_opened_total",
+                        "Ingest sessions accepted (handshake completed), per input.",
+                        &l,
+                    ),
+                    resumes: registry.counter(
+                        "lmerge_net_resumes_total",
+                        "Sessions that resumed mid-stream (welcomed with resume_seq > 0).",
+                        &l,
+                    ),
+                    clean_closes: registry.counter(
+                        "lmerge_net_session_closes_clean_total",
+                        "Sessions that ended with a clean Bye.",
+                        &l,
+                    ),
+                    lost_closes: registry.counter(
+                        "lmerge_net_session_closes_lost_total",
+                        "Sessions that ended uncleanly (EOF, gap, corruption, i/o error).",
+                        &l,
+                    ),
+                    frames: registry.counter(
+                        "lmerge_net_frames_total",
+                        "Data frames accepted into the ring, per input.",
+                        &l,
+                    ),
+                    bytes: registry.counter(
+                        "lmerge_net_bytes_total",
+                        "Wire bytes of accepted data frames (envelope + payload + checksum).",
+                        &l,
+                    ),
+                    credits: registry.counter(
+                        "lmerge_net_credits_granted_total",
+                        "Flow-control credits granted back to the client.",
+                        &l,
+                    ),
+                    ring_full_stalls: registry.counter(
+                        "lmerge_net_ring_full_stalls_total",
+                        "Session-thread spin retries on a full ingest ring (credit starvation).",
+                        &l,
+                    ),
+                    checksum_failures: registry.counter(
+                        "lmerge_net_checksum_failures_total",
+                        "Data frames rejected for a checksum mismatch.",
+                        &l,
+                    ),
+                    next_seq: registry.gauge(
+                        "lmerge_net_next_seq",
+                        "Next data sequence the server will accept (frames consumed so far).",
+                        &l,
+                    ),
+                    queue_depth: registry.gauge(
+                        "lmerge_net_queue_depth",
+                        "Ingest ring occupancy sampled at each credit grant.",
+                        &l,
+                    ),
+                }
+            })
+            .collect();
+        NetMetrics { inputs }
+    }
+}
+
 /// Per-input state shared between the accept loop, the active session
 /// thread, and the merge-side [`NetSource`].
 struct InputShared {
@@ -104,6 +200,7 @@ struct ServerShared {
     shutdown: AtomicBool,
     tracer: Mutex<Tracer>,
     credit_batch: u32,
+    metrics: NetMetrics,
 }
 
 impl ServerShared {
@@ -134,8 +231,21 @@ pub struct IngestServer {
 
 impl IngestServer {
     /// Bind to `addr` (use port 0 for an ephemeral port) and start
-    /// accepting sessions.
+    /// accepting sessions. Live telemetry lands in a private throwaway
+    /// registry; use [`bind_with_metrics`](IngestServer::bind_with_metrics)
+    /// to make it scrapeable.
     pub fn bind(addr: &str, config: IngestConfig) -> io::Result<IngestServer> {
+        IngestServer::bind_with_metrics(addr, config, &MetricsRegistry::new())
+    }
+
+    /// Like [`bind`](IngestServer::bind), registering the per-input net
+    /// series (sessions, frames, bytes, credits, stalls, corruption) in the
+    /// caller's `registry` so a scrape endpoint can expose them live.
+    pub fn bind_with_metrics(
+        addr: &str,
+        config: IngestConfig,
+        registry: &MetricsRegistry,
+    ) -> io::Result<IngestServer> {
         assert!(
             config.ring_capacity > config.credit_batch as usize,
             "ring_capacity must exceed credit_batch or clients starve"
@@ -164,6 +274,7 @@ impl IngestServer {
             shutdown: AtomicBool::new(false),
             tracer: Mutex::new(Tracer::new()),
             credit_batch: config.credit_batch,
+            metrics: NetMetrics::new(registry, config.inputs),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = thread::spawn(move || accept_loop(listener, accept_shared));
@@ -199,6 +310,32 @@ impl IngestServer {
     /// The server's private session tracer (session/credit/queue events).
     pub fn tracer(&self) -> MutexGuard<'_, Tracer> {
         self.shared.tracer.lock().unwrap()
+    }
+
+    /// Wait (up to `timeout`) for every accepted session to finish its
+    /// close handshake; returns `true` once all have. The merge side
+    /// completes at watermark = ∞ — which a paced client reaches while
+    /// its final `Bye` round trip is still in flight — so a driver that
+    /// tears the server down the instant the merge drains would sever
+    /// clean closes into lost ones. Call this between merge completion
+    /// and [`shutdown`](IngestServer::shutdown).
+    pub fn await_sessions_closed(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let all_closed = self
+                .shared
+                .metrics
+                .inputs
+                .iter()
+                .all(|m| m.clean_closes.get() + m.lost_closes.get() >= m.sessions_opened.get());
+            if all_closed {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_micros(200));
+        }
     }
 
     /// Stop accepting, sever live sessions, and join the accept loop.
@@ -252,6 +389,7 @@ fn session(shared: Arc<ServerShared>, mut stream: TcpStream) {
         return;
     }
     let slot = &shared.inputs[input as usize];
+    let live = &shared.metrics.inputs[input as usize];
 
     // Claim the producer. After an unclean disconnect the predecessor
     // session may still be unwinding, so wait a grace period for it to
@@ -288,11 +426,15 @@ fn session(shared: Arc<ServerShared>, mut stream: TcpStream) {
         input,
         resume_seq,
     });
+    live.sessions_opened.inc();
+    if resume_seq > 0 {
+        live.resumes.inc();
+    }
 
     let mut expected = resume_seq;
     let clean = 'conn: loop {
-        match wire::read_frame(&mut stream) {
-            Ok(Some(Frame::Data { seq, at, element })) => {
+        match wire::read_frame_sized(&mut stream) {
+            Ok(Some((Frame::Data { seq, at, element }, size))) => {
                 if seq < expected {
                     // Duplicate from before the resume point (client
                     // raced a reconnect); exactly-once by dropping here.
@@ -308,6 +450,7 @@ fn session(shared: Arc<ServerShared>, mut stream: TcpStream) {
                 // Ring full ⇒ spin; TCP flow control does the rest.
                 while let Err(back) = producer.push(item) {
                     item = back;
+                    live.ring_full_stalls.inc();
                     if shared.shutdown.load(Ordering::Relaxed) {
                         break 'conn false;
                     }
@@ -316,8 +459,11 @@ fn session(shared: Arc<ServerShared>, mut stream: TcpStream) {
                 expected += 1;
                 slot.next_seq.store(expected, Ordering::Release);
                 slot.pushes.fetch_add(1, Ordering::Relaxed);
+                live.frames.inc();
+                live.bytes.add(size as u64);
+                live.next_seq.set(expected as i64);
             }
-            Ok(Some(Frame::Bye)) => {
+            Ok(Some((Frame::Bye, _))) => {
                 // Release ordering pairs with the NetSource's Acquire
                 // load: once it sees `finished`, every push is visible.
                 slot.finished.store(true, Ordering::Release);
@@ -333,7 +479,11 @@ fn session(shared: Arc<ServerShared>, mut stream: TcpStream) {
             // replica may rejoin and resume from `next_seq`.
             Ok(None) => break 'conn false,
             Ok(Some(_)) => break 'conn false, // wrong frame for this state
-            Err(_) => break 'conn false,      // truncated/corrupt/io
+            Err(WireError::Checksum { .. }) => {
+                live.checksum_failures.inc();
+                break 'conn false;
+            }
+            Err(_) => break 'conn false, // truncated/io
         }
     };
 
@@ -344,6 +494,11 @@ fn session(shared: Arc<ServerShared>, mut stream: TcpStream) {
         input,
         clean,
     });
+    if clean {
+        live.clean_closes.inc();
+    } else {
+        live.lost_closes.inc();
+    }
 }
 
 /// The merge-side end of one ingest ring: an engine [`Source`] that
@@ -382,6 +537,9 @@ impl NetSource {
             self.since_credit = 0;
             self.shared.send(self.input, &Frame::Credit { n });
             let depth = slot.pushes.load(Ordering::Relaxed).saturating_sub(pops) as u32;
+            let live = &self.shared.metrics.inputs[self.input as usize];
+            live.credits.add(n as u64);
+            live.queue_depth.set(depth as i64);
             self.shared.trace(TraceEvent::CreditGranted {
                 at: item.te.at,
                 input: self.input,
@@ -522,6 +680,99 @@ mod tests {
             tracer.net().inputs()[0].credits_granted
         );
         drop(tracer);
+    }
+
+    #[test]
+    fn registry_sees_live_session_series() {
+        let registry = MetricsRegistry::new();
+        let mut server =
+            IngestServer::bind_with_metrics("127.0.0.1:0", IngestConfig::new(1), &registry)
+                .unwrap();
+        let addr = server.local_addr().to_string();
+        let sent = feed(60);
+        let wire_bytes: u64 = sent
+            .iter()
+            .enumerate()
+            .map(|(i, te)| {
+                wire::encode(&Frame::Data {
+                    seq: i as u64,
+                    at: te.at,
+                    element: te.element.clone(),
+                })
+                .len() as u64
+            })
+            .sum();
+        let client_feed = sent.clone();
+        let client = thread::spawn(move || {
+            replay(&addr, &client_feed, &ReplayConfig::new(0)).expect("replay")
+        });
+        let got = drain_sources(server.sources()).remove(0);
+        client.join().unwrap();
+        assert_eq!(got, sent);
+        let get = |name: &str| {
+            registry
+                .sum_value(name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert_eq!(get("lmerge_net_sessions_opened_total"), 1.0);
+        assert_eq!(get("lmerge_net_session_closes_clean_total"), 1.0);
+        assert_eq!(get("lmerge_net_resumes_total"), 0.0, "fresh session");
+        assert_eq!(get("lmerge_net_frames_total"), 61.0);
+        assert_eq!(
+            get("lmerge_net_bytes_total"),
+            wire_bytes as f64,
+            "byte counter matches the exact wire encoding"
+        );
+        assert_eq!(get("lmerge_net_next_seq"), 61.0);
+        assert!(get("lmerge_net_credits_granted_total") >= 32.0);
+        assert_eq!(get("lmerge_net_checksum_failures_total"), 0.0);
+    }
+
+    #[test]
+    fn await_sessions_closed_observes_the_bye_handshake() {
+        let mut server = IngestServer::bind("127.0.0.1:0", IngestConfig::new(1)).unwrap();
+        let addr = server.local_addr().to_string();
+        let sent = feed(20);
+        let client_feed = sent.clone();
+        let client = thread::spawn(move || {
+            replay(&addr, &client_feed, &ReplayConfig::new(0)).expect("replay")
+        });
+        let got = drain_sources(server.sources()).remove(0);
+        assert_eq!(got, sent);
+        assert!(
+            server.await_sessions_closed(Duration::from_secs(5)),
+            "clean close lands within the grace period"
+        );
+        assert!(client.join().unwrap().clean);
+        let tracer = server.tracer();
+        assert_eq!(tracer.net().inputs()[0].clean_closes, 1);
+        drop(tracer);
+    }
+
+    #[test]
+    fn await_sessions_closed_times_out_on_a_hung_session() {
+        let registry = MetricsRegistry::new();
+        let server =
+            IngestServer::bind_with_metrics("127.0.0.1:0", IngestConfig::new(1), &registry)
+                .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        wire::write_frame(
+            &mut stream,
+            &Frame::Hello {
+                protocol: PROTOCOL_VERSION,
+                input: 0,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            wire::read_frame(&mut stream),
+            Ok(Some(Frame::Welcome { .. }))
+        ));
+        // Session opened but never closing: the wait must give up.
+        while registry.sum_value("lmerge_net_sessions_opened_total") != Some(1.0) {
+            thread::sleep(Duration::from_micros(200));
+        }
+        assert!(!server.await_sessions_closed(Duration::from_millis(50)));
     }
 
     #[test]

@@ -473,6 +473,14 @@ pub fn decode(buf: &[u8]) -> Result<(Frame, usize), WireError> {
 /// Read one frame from a stream. `Ok(None)` means clean EOF at a frame
 /// boundary; EOF inside a frame is [`WireError::Truncated`].
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    Ok(read_frame_sized(r)?.map(|(frame, _)| frame))
+}
+
+/// Like [`read_frame`], additionally returning the frame's full on-wire
+/// size (envelope + payload + checksum) — the raw material for per-session
+/// byte counters, measured at the decoder so it is exact rather than a
+/// re-encoding estimate.
+pub fn read_frame_sized(r: &mut impl Read) -> Result<Option<(Frame, usize)>, WireError> {
     let mut header = [0u8; HEADER_LEN];
     let mut got = 0usize;
     while got < HEADER_LEN {
@@ -504,7 +512,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
             got: carried,
         });
     }
-    Ok(Some(parse_payload(frame_type, &rest[..payload_end])?))
+    let frame = parse_payload(frame_type, &rest[..payload_end])?;
+    Ok(Some((frame, HEADER_LEN + payload_end + CHECKSUM_LEN)))
 }
 
 /// Encode and write one frame to a stream.
@@ -597,6 +606,22 @@ mod tests {
             back.push(f);
         }
         assert_eq!(back, frames);
+    }
+
+    #[test]
+    fn sized_reads_tile_the_stream_exactly() {
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = &buf[..];
+        let mut total = 0usize;
+        while let Some((f, n)) = read_frame_sized(&mut r).expect("stream decodes") {
+            assert_eq!(n, encode(&f).len(), "size matches the encoding: {f:?}");
+            total += n;
+        }
+        assert_eq!(total, buf.len(), "every wire byte attributed to a frame");
     }
 
     #[test]

@@ -91,6 +91,60 @@ impl HealthTag {
     }
 }
 
+/// The SLO condition an alert rule watches (see `alert::AlertRule`).
+///
+/// Each kind names the live signal it thresholds, not the remedy — the
+/// same `WatermarkLag` alert covers a slow input, a stalled shard, and a
+/// dead network session; the per-input/per-shard series say which.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertKind {
+    /// The output stable point has not advanced for too many wall-clock ms.
+    WatermarkLag,
+    /// The worst input's stable point trails the output beyond the bound
+    /// (application-time units).
+    StragglerGap,
+    /// Too many session resumes per evaluation window — a flapping client
+    /// or network.
+    ResumeRate,
+    /// The bounded trace ring evicted events; the exported trace is no
+    /// longer complete.
+    RingDrop,
+}
+
+impl AlertKind {
+    /// Snake-case label used by the exporters and the metrics plane.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertKind::WatermarkLag => "watermark_lag",
+            AlertKind::StragglerGap => "straggler_gap",
+            AlertKind::ResumeRate => "resume_rate",
+            AlertKind::RingDrop => "ring_drop",
+        }
+    }
+}
+
+/// How loudly an alert rule fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Operator should know eventually.
+    Info,
+    /// Operator should look soon.
+    Warn,
+    /// Operator should look now.
+    Critical,
+}
+
+impl Severity {
+    /// Lower-case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
 /// Whose stable point advanced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StableScope {
@@ -250,6 +304,33 @@ pub enum TraceEvent {
         /// The ring's capacity in slots.
         capacity: u32,
     },
+    /// An SLO alert rule crossed its threshold.
+    ///
+    /// Unlike every other variant, alerts originate on the *wall-clock*
+    /// plane: `at` carries milliseconds of monotonic process time (as
+    /// micro-granular `VTime`), not virtual time — an alert is about the
+    /// operator's now, not the run's replayable history.
+    AlertFired {
+        /// Wall-clock ms since metrics start, carried as `VTime` micros.
+        at: VTime,
+        /// Which SLO condition fired.
+        kind: AlertKind,
+        /// How loudly.
+        severity: Severity,
+        /// The observed value that crossed the threshold.
+        value: i64,
+        /// The configured threshold.
+        threshold: i64,
+    },
+    /// A previously fired alert dropped back under its threshold.
+    AlertResolved {
+        /// Wall-clock ms since metrics start, carried as `VTime` micros.
+        at: VTime,
+        /// Which SLO condition resolved.
+        kind: AlertKind,
+        /// The observed value at resolution.
+        value: i64,
+    },
 }
 
 impl TraceEvent {
@@ -270,7 +351,9 @@ impl TraceEvent {
             | TraceEvent::SessionOpened { at, .. }
             | TraceEvent::SessionClosed { at, .. }
             | TraceEvent::CreditGranted { at, .. }
-            | TraceEvent::NetQueueSampled { at, .. } => at,
+            | TraceEvent::NetQueueSampled { at, .. }
+            | TraceEvent::AlertFired { at, .. }
+            | TraceEvent::AlertResolved { at, .. } => at,
         }
     }
 
@@ -292,6 +375,8 @@ impl TraceEvent {
             TraceEvent::SessionClosed { .. } => "session_closed",
             TraceEvent::CreditGranted { .. } => "credit_granted",
             TraceEvent::NetQueueSampled { .. } => "net_queue_sampled",
+            TraceEvent::AlertFired { .. } => "alert_fired",
+            TraceEvent::AlertResolved { .. } => "alert_resolved",
         }
     }
 }
@@ -342,6 +427,31 @@ mod tests {
         assert_eq!(FaultKind::Stall.label(), "stall");
         assert_eq!(HealthTag::Left.label(), "left");
         assert_eq!(HealthTag::Active.label(), "active");
+    }
+
+    #[test]
+    fn alert_events() {
+        let f = TraceEvent::AlertFired {
+            at: VTime(30),
+            kind: AlertKind::WatermarkLag,
+            severity: Severity::Warn,
+            value: 1200,
+            threshold: 1000,
+        };
+        assert_eq!(f.at(), VTime(30));
+        assert_eq!(f.name(), "alert_fired");
+        let r = TraceEvent::AlertResolved {
+            at: VTime(31),
+            kind: AlertKind::WatermarkLag,
+            value: 10,
+        };
+        assert_eq!(r.at(), VTime(31));
+        assert_eq!(r.name(), "alert_resolved");
+        assert_eq!(AlertKind::StragglerGap.label(), "straggler_gap");
+        assert_eq!(AlertKind::ResumeRate.label(), "resume_rate");
+        assert_eq!(AlertKind::RingDrop.label(), "ring_drop");
+        assert_eq!(Severity::Critical.label(), "critical");
+        assert!(Severity::Info < Severity::Warn);
     }
 
     #[test]

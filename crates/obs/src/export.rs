@@ -103,6 +103,21 @@ fn event_json(e: &TraceEvent) -> Json {
                 .set("depth", depth)
                 .set("capacity", capacity);
         }
+        TraceEvent::AlertFired {
+            kind,
+            severity,
+            value,
+            threshold,
+            ..
+        } => {
+            obj.set("kind", kind.label())
+                .set("severity", severity.label())
+                .set("value", value)
+                .set("threshold", threshold);
+        }
+        TraceEvent::AlertResolved { kind, value, .. } => {
+            obj.set("kind", kind.label()).set("value", value);
+        }
     }
     obj
 }
@@ -113,6 +128,22 @@ pub fn to_jsonl<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> String {
     for e in events {
         let _ = writeln!(s, "{}", event_json(e));
     }
+    s
+}
+
+/// The `trace_meta` trailer line: the ring's drop accounting, so a JSONL
+/// consumer can tell a complete trace from one whose head was evicted.
+pub fn trace_meta(ring: &crate::ring::EventRing) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{}",
+        Json::object()
+            .with("event", "trace_meta")
+            .with("recorded", ring.recorded())
+            .with("retained", ring.len() as u64)
+            .with("dropped", ring.dropped())
+    );
     s
 }
 
@@ -338,6 +369,31 @@ pub fn to_chrome_trace<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> Stri
                     depth as i64,
                 ));
             }
+            TraceEvent::AlertFired {
+                kind,
+                severity,
+                value,
+                threshold,
+                ..
+            } => {
+                trace.push(chrome_instant(
+                    &format!("alert[{}]", kind.label()),
+                    ts,
+                    OUTPUT_TID,
+                    Json::object()
+                        .with("severity", severity.label())
+                        .with("value", value)
+                        .with("threshold", threshold),
+                ));
+            }
+            TraceEvent::AlertResolved { kind, value, .. } => {
+                trace.push(chrome_instant(
+                    &format!("alert resolved[{}]", kind.label()),
+                    ts,
+                    OUTPUT_TID,
+                    Json::object().with("value", value),
+                ));
+            }
         }
     }
 
@@ -525,6 +581,18 @@ mod tests {
                 at: VTime(29),
                 input: 1,
                 clean: true,
+            },
+            TraceEvent::AlertFired {
+                at: VTime(30),
+                kind: crate::event::AlertKind::WatermarkLag,
+                severity: crate::event::Severity::Warn,
+                value: 2500,
+                threshold: 1000,
+            },
+            TraceEvent::AlertResolved {
+                at: VTime(31),
+                kind: crate::event::AlertKind::WatermarkLag,
+                value: 12,
             },
         ]
     }

@@ -11,11 +11,11 @@ const SUB_BITS: u32 = 4;
 /// Linear sub-buckets per octave.
 const SUB: u64 = 1 << SUB_BITS;
 /// Total buckets needed to cover the full `u64` range.
-const NUM_BUCKETS: usize = (2 * SUB + (63 - SUB_BITS as u64) * SUB) as usize;
+pub(crate) const NUM_BUCKETS: usize = (2 * SUB + (63 - SUB_BITS as u64) * SUB) as usize;
 
 /// Bucket index of a value: identity below `2·SUB`, log/linear above.
 #[inline]
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v < 2 * SUB {
         v as usize
     } else {
@@ -27,7 +27,7 @@ fn bucket_index(v: u64) -> usize {
 
 /// Smallest value mapping to bucket `i`.
 #[inline]
-fn bucket_lower_bound(i: usize) -> u64 {
+pub(crate) fn bucket_lower_bound(i: usize) -> u64 {
     if i < 2 * SUB as usize {
         i as u64
     } else {
@@ -183,6 +183,25 @@ impl LogHistogram {
     pub fn memory_bytes(&self) -> usize {
         self.counts.capacity() * std::mem::size_of::<u64>()
     }
+
+    /// Rebuild a histogram from raw parts — the bridge from the wall-clock
+    /// [`AtomicHistogram`](crate::metrics::AtomicHistogram), which shares
+    /// this bucketing but accumulates lock-free. `counts` shorter than the
+    /// full bucket table is padded with zeros.
+    pub(crate) fn from_parts(counts: Vec<u64>, count: u64, sum: u128, min: u64, max: u64) -> Self {
+        if count == 0 {
+            return LogHistogram::new();
+        }
+        let mut counts = counts;
+        counts.resize(NUM_BUCKETS, 0);
+        LogHistogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +310,68 @@ mod tests {
         }
         assert_eq!(h.count(), 1_000_000);
         assert!(h.memory_bytes() <= NUM_BUCKETS * 8 + 64);
+    }
+
+    // Pinned semantics: an empty histogram answers every statistical query
+    // with zero — callers never need an `is_empty` guard before reporting.
+    #[test]
+    fn empty_histogram_quantiles_are_zero_for_all_q() {
+        let h = LogHistogram::new();
+        for q in [-1.0, 0.0, 0.25, 0.5, 0.999, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0, "q={q} on empty must be 0");
+        }
+    }
+
+    // Pinned semantics: out-of-range q clamps to the observed extremes
+    // rather than panicking or extrapolating — q ≤ 0 reports min, q ≥ 1
+    // reports max.
+    #[test]
+    fn out_of_range_q_clamps_to_min_max() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(-0.5), 10);
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(1.0), 30);
+        assert_eq!(h.quantile(7.0), 30);
+    }
+
+    // Pinned semantics: the top bucket saturates gracefully. `u64::MAX`
+    // lands in the last bucket, quantiles clamp to the observed max, and
+    // the u128 running sum cannot overflow even at full saturation.
+    #[test]
+    fn saturated_top_bucket_reports_exact_max() {
+        let mut h = LogHistogram::new();
+        h.record_n(u64::MAX, 3);
+        h.record(u64::MAX - 1);
+        h.record(7);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 7);
+        // Interior ranks fall in the top bucket, whose lower bound is far
+        // below u64::MAX; the clamp keeps the report inside [min, max] and
+        // the extreme ranks are exact.
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert!(h.quantile(0.6) >= bucket_lower_bound(bucket_index(u64::MAX - 1)));
+        assert!(h.quantile(0.6) <= h.max());
+        // Sum stays exact in u128: 3·(2^64-1) + (2^64-2) + 7.
+        let expect = 3 * (u64::MAX as u128) + (u64::MAX as u128 - 1) + 7;
+        assert_eq!(h.mean(), expect as f64 / 5.0);
+    }
+
+    // A histogram holding nothing but one saturated value still roundtrips
+    // through merge without disturbing the extremes.
+    #[test]
+    fn merge_preserves_saturated_extremes() {
+        let mut a = LogHistogram::new();
+        a.record(42);
+        let mut b = LogHistogram::new();
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.max(), u64::MAX);
+        assert_eq!(a.quantile(1.0), u64::MAX);
+        assert_eq!(a.quantile(0.0), 42);
     }
 
     #[test]

@@ -46,20 +46,40 @@
 //! println!("{}", tracer.summary());
 //! ```
 
+//!
+//! PR 6 adds the *wall-clock* complement to the virtual-time trace plane:
+//!
+//! * [`metrics`] — an atomic registry of counters/gauges/histograms with
+//!   Prometheus text exposition, plus [`metrics::MeteredSink`] to fold the
+//!   trace event stream into live series;
+//! * [`alert`] — a declarative SLO rule engine (watermark lag, straggler
+//!   gap, resume rate, ring drops) firing typed alert events;
+//! * [`serve`] — a side-listener scrape endpoint ([`serve::MetricsServer`])
+//!   and the matching [`serve::scrape`] client.
+
+pub mod alert;
 pub mod event;
 pub mod export;
 pub mod hist;
 pub mod json;
 pub mod lag;
+pub mod metrics;
 pub mod net;
 pub mod ring;
+pub mod serve;
 pub mod shard;
 pub mod sink;
 
-pub use event::{ElementKind, FaultKind, HealthTag, StableScope, TraceEvent};
+pub use alert::{default_rules, AlertEngine, AlertRule};
+pub use event::{AlertKind, ElementKind, FaultKind, HealthTag, Severity, StableScope, TraceEvent};
 pub use hist::LogHistogram;
 pub use lag::{InputLag, LagGauges};
+pub use metrics::{
+    parse_prometheus, AtomicHistogram, Counter, EngineMetrics, Gauge, MeteredSink, MetricsRegistry,
+    ScrapedSample,
+};
 pub use net::{NetGauges, NetLag};
 pub use ring::EventRing;
+pub use serve::{scrape, MetricsServer, ScrapeAlerts};
 pub use shard::{ShardGauges, ShardLag};
 pub use sink::{NullSink, TraceConfig, TraceSink, Tracer};

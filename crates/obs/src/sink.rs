@@ -75,6 +75,9 @@ pub struct Tracer {
     lag: LagGauges,
     shards: ShardGauges,
     net: NetGauges,
+    /// Whether the ring-overflow alert has already been recorded — the
+    /// warning fires once per tracer, not once per evicted event.
+    overflow_alerted: bool,
 }
 
 impl Tracer {
@@ -90,6 +93,7 @@ impl Tracer {
             lag: LagGauges::default(),
             shards: ShardGauges::default(),
             net: NetGauges::default(),
+            overflow_alerted: false,
         }
     }
 
@@ -121,9 +125,13 @@ impl Tracer {
         &self.net
     }
 
-    /// Export the retained events as JSON-lines (one object per line).
+    /// Export the retained events as JSON-lines (one object per line),
+    /// closed by a `trace_meta` line carrying the ring's drop accounting —
+    /// a consumer can always tell whether the trace it holds is complete.
     pub fn to_jsonl(&self) -> String {
-        export::to_jsonl(self.events())
+        let mut s = export::to_jsonl(self.events());
+        s.push_str(&export::trace_meta(&self.ring));
+        s
     }
 
     /// Export the retained events as a Chrome trace-event (Perfetto /
@@ -155,6 +163,20 @@ impl TraceSink for Tracer {
         self.shards.on_event(&event);
         self.net.on_event(&event);
         self.ring.push(event);
+        // Surface the first eviction as a warn-level alert *inside* the
+        // trace: anyone reading the export learns the ring wrapped without
+        // checking the summary. Stamped with the overflowing event's
+        // virtual time; fires once.
+        if !self.overflow_alerted && self.ring.dropped() > 0 {
+            self.overflow_alerted = true;
+            self.ring.push(TraceEvent::AlertFired {
+                at: event.at(),
+                kind: crate::event::AlertKind::RingDrop,
+                severity: crate::event::Severity::Warn,
+                value: self.ring.dropped() as i64,
+                threshold: 0,
+            });
+        }
     }
 }
 
@@ -197,8 +219,58 @@ mod tests {
             });
         }
         assert_eq!(t.ring().len(), 2, "ring stayed bounded");
-        assert_eq!(t.ring().dropped(), 98);
+        // 98 batches evicted, plus one slot evicted by the overflow alert.
+        assert_eq!(t.ring().dropped(), 99);
         assert_eq!(t.lag().inputs()[0].delivered, 100, "gauges saw everything");
+    }
+
+    #[test]
+    fn ring_overflow_fires_one_warn_alert() {
+        let mut t = Tracer::with_config(TraceConfig { capacity: 4 });
+        // Five records into a four-slot ring: the fifth evicts the first
+        // and the overflow alert lands as the newest retained event.
+        for k in 0..5u64 {
+            t.record(TraceEvent::RunCompleted { at: VTime(k) });
+        }
+        let alerts: Vec<_> = t
+            .events()
+            .filter(|e| matches!(e, TraceEvent::AlertFired { .. }))
+            .collect();
+        assert_eq!(alerts.len(), 1, "alert fires exactly once");
+        match alerts[0] {
+            TraceEvent::AlertFired {
+                kind: crate::event::AlertKind::RingDrop,
+                severity: crate::event::Severity::Warn,
+                ..
+            } => {}
+            other => panic!("unexpected alert {other:?}"),
+        }
+        // Further overflow does not re-fire (drop-oldest may evict the
+        // alert itself later; the trace_meta line keeps the evidence).
+        for k in 5..20u64 {
+            t.record(TraceEvent::RunCompleted { at: VTime(k) });
+        }
+        let refired = t
+            .events()
+            .filter(|e| matches!(e, TraceEvent::AlertFired { .. }))
+            .count();
+        assert_eq!(refired, 0, "no repeat alerts after eviction");
+        // The JSONL export ends with the drop accounting.
+        let jsonl = t.to_jsonl();
+        let last = jsonl.lines().last().unwrap();
+        assert!(last.contains("\"event\":\"trace_meta\""), "got: {last}");
+        assert!(last.contains("\"dropped\""), "got: {last}");
+    }
+
+    #[test]
+    fn jsonl_meta_reports_no_drops_on_small_traces() {
+        let mut t = Tracer::new();
+        t.record(TraceEvent::RunCompleted { at: VTime(1) });
+        let jsonl = t.to_jsonl();
+        let last = jsonl.lines().last().unwrap();
+        assert!(last.contains("\"event\":\"trace_meta\""));
+        assert!(last.contains("\"recorded\":1"), "got: {last}");
+        assert!(last.contains("\"dropped\":0"), "got: {last}");
     }
 
     #[test]

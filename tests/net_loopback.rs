@@ -20,9 +20,13 @@ use lmerge::net::client::{replay, replay_until_clean, ReplayConfig};
 use lmerge::net::egress::NetHooks;
 use lmerge::net::proxy::{ChaosProxy, ProxyPlan};
 use lmerge::net::server::{drain_sources, IngestConfig, IngestServer};
-use lmerge::obs::Tracer;
+use lmerge::obs::{
+    default_rules, parse_prometheus, scrape, AlertEngine, EngineMetrics, MeteredSink,
+    MetricsRegistry, MetricsServer, ScrapeAlerts, TraceSink, Tracer,
+};
 use lmerge::properties::RLevel;
 use lmerge::temporal::{Element, StreamId, Value};
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 /// How each input's replica reaches the server in a networked run.
@@ -264,6 +268,142 @@ fn proxy_faults_do_not_perturb_the_merge() {
         net.faults_applied
     );
     assert_identical(variant, &base, &net);
+}
+
+/// The telemetry-plane acceptance path: run the loopback merge with the
+/// live registry attached end to end — ingest server, metered run sink,
+/// sharded pipeline export, SLO alert engine — and scrape the endpoint
+/// over real TCP. The exposition must be valid Prometheus text carrying
+/// per-session, per-shard, and alert series.
+#[test]
+fn live_scrape_exposes_session_shard_and_alert_series() {
+    let cfg = ChaosConfig::small(71);
+    let variant = Variant::R3;
+    let (_reference, feeds) = feeds_for(variant, &cfg);
+    assert!(feeds[0].len() > 20, "feed long enough to kill mid-stream");
+
+    let registry = MetricsRegistry::new();
+    let mut server =
+        IngestServer::bind_with_metrics("127.0.0.1:0", IngestConfig::new(feeds.len()), &registry)
+            .expect("bind ingest server");
+    let server_addr = server.local_addr().to_string();
+
+    let alert_sink: Arc<Mutex<dyn TraceSink + Send>> = Arc::new(Mutex::new(Tracer::new()));
+    let metrics_server = MetricsServer::bind_with_alerts(
+        "127.0.0.1:0",
+        registry.clone(),
+        ScrapeAlerts {
+            engine: AlertEngine::new(&registry, default_rules()),
+            sink: alert_sink,
+        },
+    )
+    .expect("bind metrics server");
+
+    // Input 0 crashes after 10 frames and rejoins, so the resume series
+    // is provably non-zero; the rest stream straight through.
+    let clients: Vec<_> = feeds
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, feed)| {
+            let addr = server_addr.clone();
+            thread::spawn(move || {
+                if i == 0 {
+                    let crashed = replay(&addr, &feed, &ReplayConfig::new(0).with_kill_after(10))
+                        .expect("crash session");
+                    assert!(!crashed.clean);
+                }
+                let out = replay_until_clean(&addr, &feed, &ReplayConfig::new(i as u32), 10)
+                    .expect("replay");
+                assert!(out.clean);
+            })
+        })
+        .collect();
+
+    let queries: Vec<Query<Value>> = server
+        .sources()
+        .into_iter()
+        .map(|src| Query::from_source(Box::new(src), Vec::new()))
+        .collect();
+    let merge = variant.build(cfg.n_inputs, cfg.robustness);
+    let mut sink = MeteredSink::new(Tracer::new(), EngineMetrics::new(&registry));
+    MergeRun::new(queries, merge, RunConfig::default()).run_with(&mut sink);
+    sink.metrics()
+        .set_ring_dropped(sink.inner().ring().dropped());
+    for c in clients {
+        c.join().expect("client");
+    }
+    server.shutdown();
+
+    // Per-shard series come from the pipelined executor's export.
+    let pipe_feed: Vec<PipeItem<Value>> = feeds[0]
+        .iter()
+        .map(|te| PipeItem::Deliver(StreamId(0), te.element.clone()))
+        .collect();
+    let pipe = run_pipeline(
+        || variant.build(cfg.n_inputs, cfg.robustness),
+        &pipe_feed,
+        PipelineConfig {
+            shards: 2,
+            queue_capacity: 64,
+            sample_every: 1024,
+        },
+        &mut lmerge::obs::NullSink,
+    );
+    pipe.export_metrics(&registry);
+
+    // A live scrape over TCP, parsed back from the wire format.
+    let body = scrape(metrics_server.local_addr()).expect("scrape");
+    let samples = parse_prometheus(&body);
+    let data_lines = body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .count();
+    assert_eq!(
+        samples.len(),
+        data_lines,
+        "every exposition line parses as a sample"
+    );
+
+    // Per-session series: every input streamed frames and closed cleanly.
+    for i in 0..feeds.len() {
+        let id = i.to_string();
+        let frames = samples
+            .iter()
+            .find(|s| s.name == "lmerge_net_frames_total" && s.label("input") == Some(&id))
+            .unwrap_or_else(|| panic!("no frame series for input {i}"));
+        assert!(frames.value > 0.0, "input {i} streamed no frames");
+    }
+    let resumes: f64 = samples
+        .iter()
+        .filter(|s| s.name == "lmerge_net_resumes_total")
+        .map(|s| s.value)
+        .sum();
+    assert!(resumes >= 1.0, "the kill+rejoin registered as a resume");
+
+    // Per-shard series from the pipeline export.
+    let shard_series = samples
+        .iter()
+        .filter(|s| s.name == "lmerge_shard_queue_max_depth")
+        .count();
+    assert_eq!(shard_series, 2, "one queue-depth series per shard");
+
+    // Alert series: the engine evaluated during the scrape, so the
+    // default rules are all present (firing or not).
+    let alert_rules = samples
+        .iter()
+        .filter(|s| s.name == "lmerge_alert_active")
+        .count();
+    assert_eq!(alert_rules, default_rules().len(), "every rule exposed");
+
+    // Engine series folded by the metered sink.
+    assert!(
+        registry
+            .sum_value("lmerge_elements_emitted_total")
+            .unwrap_or(0.0)
+            > 0.0,
+        "metered run folded output counts"
+    );
 }
 
 #[test]

@@ -1,0 +1,154 @@
+//! Live-telemetry plane conformance: the Prometheus text exposition is
+//! byte-stable (golden file), the registry never loses concurrent
+//! increments, and the parse helper inverts the renderer.
+//!
+//! The golden file pins exposition *stability*: deterministic family and
+//! series ordering, label escaping, histogram bucket boundaries. Any
+//! intentional format change must update `tests/golden/metrics_golden.prom`
+//! in the same commit — the failure message prints the fresh rendering to
+//! make that a copy-paste.
+
+use lmerge::obs::{parse_prometheus, MetricsRegistry};
+use std::thread;
+
+/// A registry covering every exposition feature: multiple series per
+/// family (registered out of order), label values needing escapes, a
+/// negative gauge, and a histogram spanning exact and bucketed ranges.
+fn golden_registry() -> MetricsRegistry {
+    let r = MetricsRegistry::new();
+    // Registered in reverse name order: the render must sort families.
+    let h = r.histogram("lmerge_demo_latency_us", "Latency histogram.", &[]);
+    for v in [1, 2, 3, 50, 900, 70_000] {
+        h.record(v);
+    }
+    r.gauge(
+        "lmerge_demo_depth",
+        "Queue depth with \"quotes\" and \\ backslash.",
+        &[("shard", "a\"b\\c\nd")],
+    )
+    .set(-3);
+    // Series registered out of label order within one family.
+    r.counter(
+        "lmerge_demo_total",
+        "Elements processed.",
+        &[("input", "1")],
+    )
+    .add(7);
+    r.counter(
+        "lmerge_demo_total",
+        "Elements processed.",
+        &[("input", "0")],
+    )
+    .add(42);
+    r
+}
+
+#[test]
+fn exposition_matches_the_golden_file() {
+    let rendered = golden_registry().render();
+    let golden = include_str!("golden/metrics_golden.prom");
+    assert_eq!(
+        rendered, golden,
+        "exposition drifted from tests/golden/metrics_golden.prom; \
+         if intentional, replace the golden with:\n{rendered}"
+    );
+}
+
+#[test]
+fn exposition_is_stable_across_renders_and_registration_replays() {
+    let r = golden_registry();
+    let first = r.render();
+    // Re-requesting existing handles must not reorder or duplicate series.
+    r.counter(
+        "lmerge_demo_total",
+        "Elements processed.",
+        &[("input", "0")],
+    );
+    assert_eq!(r.render(), first);
+}
+
+#[test]
+fn parse_inverts_the_golden_exposition() {
+    let r = golden_registry();
+    let samples = parse_prometheus(&r.render());
+    let total: f64 = samples
+        .iter()
+        .filter(|s| s.name == "lmerge_demo_total")
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(total, 49.0);
+    let depth = samples
+        .iter()
+        .find(|s| s.name == "lmerge_demo_depth")
+        .expect("gauge series");
+    assert_eq!(depth.value, -3.0);
+    assert_eq!(
+        depth.label("shard"),
+        Some("a\"b\\c\nd"),
+        "escaped label round-trips"
+    );
+    let count = samples
+        .iter()
+        .find(|s| s.name == "lmerge_demo_latency_us_count")
+        .expect("histogram count series");
+    assert_eq!(count.value, 6.0);
+    let inf_bucket = samples
+        .iter()
+        .find(|s| s.name == "lmerge_demo_latency_us_bucket" && s.label("le") == Some("+Inf"))
+        .expect("+Inf bucket");
+    assert_eq!(inf_bucket.value, 6.0, "cumulative +Inf covers everything");
+}
+
+#[test]
+fn concurrent_increments_are_never_lost() {
+    const THREADS: usize = 8;
+    const PER: u64 = 25_000;
+    let registry = MetricsRegistry::new();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = registry.clone();
+            thread::spawn(move || {
+                // Every thread re-requests the same series by name: the
+                // registry must hand back the same underlying atomics.
+                let c = reg.counter("lmerge_mt_total", "help", &[]);
+                let labeled = reg.counter(
+                    "lmerge_mt_labeled_total",
+                    "help",
+                    &[("input", if t % 2 == 0 { "even" } else { "odd" })],
+                );
+                let g = reg.gauge("lmerge_mt_peak", "help", &[]);
+                let h = reg.histogram("lmerge_mt_hist", "help", &[]);
+                for i in 0..PER {
+                    c.inc();
+                    labeled.inc();
+                    h.record(i % 1024);
+                    g.set_max((t as u64 * PER + i) as i64);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let expect = (THREADS as u64 * PER) as f64;
+    assert_eq!(registry.sum_value("lmerge_mt_total"), Some(expect));
+    assert_eq!(registry.sum_value("lmerge_mt_labeled_total"), Some(expect));
+    assert_eq!(
+        registry.max_value("lmerge_mt_peak"),
+        Some((THREADS as u64 * PER - 1) as f64),
+        "set_max keeps the global maximum under contention"
+    );
+    let samples = parse_prometheus(&registry.render());
+    let hist_count = samples
+        .iter()
+        .find(|s| s.name == "lmerge_mt_hist_count")
+        .expect("histogram count");
+    assert_eq!(hist_count.value, expect, "no lost histogram records");
+    let per_parity: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.name == "lmerge_mt_labeled_total")
+        .map(|s| s.value)
+        .collect();
+    assert_eq!(per_parity.len(), 2, "one series per label value");
+    assert!(per_parity.iter().all(|&v| v == expect / 2.0));
+}
