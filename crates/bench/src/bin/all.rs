@@ -13,4 +13,5 @@ fn main() {
     lmerge_bench::figs::table4::report().emit();
     lmerge_bench::figs::ablation::report().emit();
     lmerge_bench::figs::shard_scaling::report().emit();
+    lmerge_bench::figs::checkpoint_overhead::report().emit();
 }

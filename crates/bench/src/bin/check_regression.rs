@@ -22,7 +22,10 @@
 //!   file, which is timing-free at check time);
 //! * the telemetry-overhead bar — the committed `BENCH_obs_overhead.json`
 //!   must show instrumented throughput at least 0.95x the uninstrumented
-//!   drive (same committed-file discipline).
+//!   drive (same committed-file discipline);
+//! * the checkpoint-overhead bar — the committed
+//!   `BENCH_checkpoint_overhead.json` must show checkpointed throughput
+//!   at least 0.90x the bare drive (same committed-file discipline).
 //!
 //! Exit status is non-zero on any violation, so the bench-smoke CI job
 //! fails loudly instead of letting perf rot ride along.
@@ -185,12 +188,38 @@ fn check_overhead_bar(gate: &mut Gate) -> Result<(), String> {
     Ok(())
 }
 
+/// The committed checkpoint-overhead record must clear the acceptance
+/// bar: checkpointed throughput at least 0.90x the bare drive.
+fn check_checkpoint_bar(gate: &mut Gate) -> Result<(), String> {
+    let base = load_baseline("checkpoint_overhead")?;
+    let eps = |label: &str| {
+        base.iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, m)| m.throughput_eps)
+            .ok_or_else(|| format!("BENCH_checkpoint_overhead.json: no {label} record"))
+    };
+    let bare = eps("bare")?;
+    let ck = eps("checkpointed")?;
+    gate.checked += 1;
+    let ratio = if bare > 0.0 { ck / bare } else { 0.0 };
+    if ratio < 0.90 {
+        gate.violations.push(format!(
+            "checkpoint_overhead: committed checkpointed/bare ratio {ratio:.3} \
+             below the 0.90 bar"
+        ));
+    } else {
+        println!("checkpoint_overhead: committed durability ratio {ratio:.3} (bar: 0.90)");
+    }
+    Ok(())
+}
+
 fn main() {
     println!("regenerating checked figures at default scale...");
     let fig2 = lmerge_bench::figs::fig2::report();
     let scaling = lmerge_bench::figs::shard_scaling::report();
     let net = lmerge_bench::figs::net_loopback::report();
     let obs = lmerge_bench::figs::obs_overhead::report();
+    let ck = lmerge_bench::figs::checkpoint_overhead::report();
 
     let mut gate = Gate {
         violations: Vec::new(),
@@ -202,6 +231,7 @@ fn main() {
         ("shard_scaling", &scaling),
         ("net_loopback", &net),
         ("obs_overhead", &obs),
+        ("checkpoint_overhead", &ck),
     ] {
         if let Err(e) = gate.diff(id, fresh) {
             errors.push(e);
@@ -211,6 +241,9 @@ fn main() {
         errors.push(e);
     }
     if let Err(e) = check_overhead_bar(&mut gate) {
+        errors.push(e);
+    }
+    if let Err(e) = check_checkpoint_bar(&mut gate) {
         errors.push(e);
     }
 

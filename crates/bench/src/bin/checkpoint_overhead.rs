@@ -1,0 +1,6 @@
+//! Regenerates the checkpoint-overhead result. See
+//! `lmerge_bench::figs::checkpoint_overhead`.
+
+fn main() {
+    lmerge_bench::figs::checkpoint_overhead::report().emit();
+}

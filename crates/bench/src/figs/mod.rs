@@ -3,6 +3,7 @@
 //! integration tests can assert on the *shapes* without parsing stdout.
 
 pub mod ablation;
+pub mod checkpoint_overhead;
 pub mod fig10;
 pub mod fig2;
 pub mod fig3;

@@ -10,7 +10,7 @@
 //! case seed, re-running a case yields a byte-identical trace.
 
 use crate::inject::ChaosInjector;
-use crate::plan::FaultPlan;
+use crate::plan::{Fault, FaultPlan};
 use lmerge_core::{
     new_for_level, LMergeR3, LMergeR3Naive, LMergeR4, LogicalMerge, MergePolicy, RobustnessPolicy,
 };
@@ -266,6 +266,22 @@ pub fn run_variant(variant: Variant, cfg: &ChaosConfig, plan: &FaultPlan) -> Cas
     };
 
     let mut injector = ChaosInjector::new(level, plan, &feeds);
+    if plan
+        .faults
+        .iter()
+        .any(|f| matches!(f, Fault::CrashMerge { .. }))
+    {
+        let (v, n, robustness) = (variant, cfg.n_inputs, cfg.robustness);
+        injector = injector.with_merge_rebuilder(Box::new(move |img| {
+            let mut fresh = v.build(n, robustness);
+            assert!(
+                fresh.restore_state(img),
+                "restore into a fresh {} merge",
+                v.name()
+            );
+            fresh
+        }));
+    }
     let queries: Vec<Query<Value>> = feeds
         .into_iter()
         .map(|f| {

@@ -16,6 +16,7 @@
 //! `(plan, feeds, variant)` — replaying it yields a byte-identical trace.
 
 use crate::plan::{Fault, FaultPlan};
+use lmerge_core::{LogicalMerge, MergeStateImage};
 use lmerge_engine::hooks::{ControlAction, FaultAction, RunHooks};
 use lmerge_engine::TimedElement;
 use lmerge_properties::RLevel;
@@ -59,7 +60,17 @@ pub struct ChaosInjector {
     violations: Vec<String>,
     /// How many times each mechanical fault label was applied.
     applied: BTreeMap<&'static str, u32>,
+    /// Builds a fresh merge of the run's variant for [`Fault::CrashMerge`]
+    /// (the image is restored into it). Installed by the harness, which
+    /// knows the variant and policy; without one the fault is inert.
+    rebuild_merge: Option<MergeRebuilder>,
 }
+
+/// Factory restoring a crashed operator: given its exported image (already
+/// round-tripped through the durable codec), return a fresh restored merge
+/// of the run's variant.
+pub type MergeRebuilder =
+    Box<dyn Fn(MergeStateImage<Value>) -> Box<dyn LogicalMerge<Value>> + Send>;
 
 impl ChaosInjector {
     /// An injector replaying `plan` (pre-degraded for `level`) over a run
@@ -98,7 +109,17 @@ impl ChaosInjector {
             checks: 0,
             violations: Vec::new(),
             applied: BTreeMap::new(),
+            rebuild_merge: None,
         }
+    }
+
+    /// Install the factory [`Fault::CrashMerge`] rebuilds the merge with:
+    /// given the crashed operator's exported image (already round-tripped
+    /// through the durable codec), return a fresh restored operator.
+    #[must_use]
+    pub fn with_merge_rebuilder(mut self, rebuild: MergeRebuilder) -> Self {
+        self.rebuild_merge = Some(rebuild);
+        self
     }
 
     /// A pure conformance checker: an injector with an empty (clean) fault
@@ -371,6 +392,27 @@ impl RunHooks<Value> for ChaosInjector {
                     self.fired[k] = true;
                     self.note("stall");
                     actions.push(ControlAction::Stall { input, until });
+                }
+                Fault::CrashMerge { at: t } if at >= t => {
+                    self.fired[k] = true;
+                    if let Some(rebuild) = self.rebuild_merge.take() {
+                        self.note("crash_merge");
+                        actions.push(ControlAction::CrashMerge {
+                            rebuild: Box::new(move |img| {
+                                // Round-trip the image through the durable
+                                // codec before restoring: firing the fault
+                                // proves the on-disk encoding is lossless
+                                // at an arbitrary mid-run cut.
+                                let mut buf = Vec::new();
+                                lmerge_durable::put_merge_image(&mut buf, &img);
+                                let mut cur = lmerge_durable::Cursor::new(&buf);
+                                let decoded = lmerge_durable::get_merge_image::<Value>(&mut cur)
+                                    .expect("durable codec decodes its own encoding");
+                                assert_eq!(decoded, img, "durable codec must be lossless");
+                                rebuild(decoded)
+                            }),
+                        });
+                    }
                 }
                 _ => {}
             }

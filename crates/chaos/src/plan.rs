@@ -94,10 +94,21 @@ pub enum Fault {
         /// Window end (virtual time).
         until: VTime,
     },
+    /// The merge operator itself dies mid-run and is rebuilt from a state
+    /// image round-tripped through the durable codec — the process-death
+    /// scenario the durability layer exists for. Applies at every level
+    /// (any variant can crash). Not drawn by [`FaultPlan::random`], so
+    /// existing seeded plans replay unchanged; the crash-recovery suites
+    /// add it explicitly.
+    CrashMerge {
+        /// Crash trigger (virtual time).
+        at: VTime,
+    },
 }
 
 impl Fault {
-    /// The input this fault targets.
+    /// The input this fault targets; `u32::MAX` (the executor's merge
+    /// sentinel) for faults that hit the merge operator itself.
     pub fn input(&self) -> u32 {
         match *self {
             Fault::Crash { input, .. }
@@ -107,6 +118,7 @@ impl Fault {
             | Fault::FreezeStable { input, .. }
             | Fault::StallInput { input, .. }
             | Fault::Overflow { input, .. } => input,
+            Fault::CrashMerge { .. } => u32::MAX,
         }
     }
 
@@ -133,6 +145,7 @@ impl Fault {
             Fault::FreezeStable { .. } => "freeze_stable",
             Fault::StallInput { .. } => "stall",
             Fault::Overflow { .. } => "overflow",
+            Fault::CrashMerge { .. } => "crash_merge",
         }
     }
 }
@@ -276,8 +289,12 @@ mod tests {
             input: 1,
             from: VTime(0),
         };
+        let cm = Fault::CrashMerge { at: VTime(100) };
         for level in [RLevel::R0, RLevel::R1, RLevel::R2, RLevel::R3, RLevel::R4] {
             assert_eq!(fz.degrade(level), Some(fz), "freeze applies everywhere");
+            assert_eq!(cm.degrade(level), Some(cm), "any variant can crash");
         }
+        assert_eq!(cm.input(), u32::MAX);
+        assert_eq!(cm.label(), "crash_merge");
     }
 }

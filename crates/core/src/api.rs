@@ -175,4 +175,29 @@ pub trait LogicalMerge<P: Payload> {
 
     /// Which case of the paper's restriction spectrum this operator handles.
     fn level(&self) -> RLevel;
+
+    /// Export a canonical image of the operator's state for checkpointing.
+    /// Variants that support durability override this; the default reports
+    /// "not supported" so exotic operators keep working unchanged.
+    fn export_state(&self) -> Option<crate::state::MergeStateImage<P>> {
+        None
+    }
+
+    /// Rebuild the operator's state from an image previously produced by
+    /// [`export_state`](Self::export_state) on a *freshly constructed*
+    /// operator of the same variant and configuration (policies are not
+    /// part of the image). Returns `false` — leaving the operator
+    /// untouched — if the image's variant kind does not match or the
+    /// operator does not support restore.
+    fn restore_state(&mut self, image: crate::state::MergeStateImage<P>) -> bool {
+        let _ = image;
+        false
+    }
+
+    /// Install a spill handler: where `max_live_entries` demotions send
+    /// their half-frozen state instead of dropping it. Only the indexed
+    /// variants (R3/R4) accept one; the default ignores the handler.
+    fn set_spill_handler(&mut self, handler: Box<dyn crate::state::SpillHandler<P>>) {
+        let _ = handler;
+    }
 }

@@ -1,15 +1,21 @@
 //! The `in2t` (index-2-tier) data structure of Figure 1 (left).
 //!
 //! The top tier orders live `(Vs, Payload)` keys by `Vs` (the paper uses a
-//! red-black tree; we use a `BTreeMap<Vs, HashMap<Payload, Node>>`, which
+//! red-black tree; we use a `BTreeMap<Vs, BTreeMap<Payload, Node>>`, which
 //! supports the same `FindHalfFrozen` range scan). Each node stores the
 //! event *once* — payloads are shared across inputs, which is what makes
 //! LMR3+ memory nearly independent of the number of inputs — plus a small
-//! hash table mapping each input stream (and the output pseudo-stream) to
-//! its current `Ve` for the event.
+//! table mapping each input stream (and the output pseudo-stream) to its
+//! current `Ve` for the event.
+//!
+//! The inner tier is an ordered map rather than a hash map because the
+//! durability layer requires *restorable iteration*: a sweep over an index
+//! rebuilt from a checkpoint must emit in exactly the order the original
+//! would have, and a hash table's slot layout is a function of its full
+//! insertion/deletion history, which a rebuild cannot reproduce. Keying by
+//! payload `Ord` makes iteration a pure function of the index's contents.
 
-use crate::det::DetHashMap;
-use crate::mem::hash_table_bytes;
+use crate::mem::btree_bytes;
 use lmerge_temporal::{Payload, StreamId, Time};
 use std::collections::BTreeMap;
 
@@ -99,7 +105,7 @@ impl Node {
 /// The two-tier index: `Vs → (Payload → Node)`.
 #[derive(Debug)]
 pub struct In2t<P: Payload> {
-    tiers: BTreeMap<Time, DetHashMap<P, Node>>,
+    tiers: BTreeMap<Time, BTreeMap<P, Node>>,
     nodes: usize,
     /// Retained payload heap bytes (each payload stored once).
     payload_bytes: usize,
@@ -243,16 +249,42 @@ impl<P: Payload> In2t<P> {
         }
     }
 
-    /// Estimated memory: tree structure, the per-`Vs` tier hash tables
-    /// (bucket arrays modelled by [`hash_table_bytes`]), shared payloads,
-    /// and per-input entries.
+    /// Iterate every node in canonical `(Vs, payload)` order — the
+    /// checkpoint export walk. Unlike [`In2t::half_frozen`] this includes
+    /// nodes at `Vs = ∞`.
+    pub fn iter_all(&self) -> impl Iterator<Item = (Time, &P, &Node)> + '_ {
+        self.tiers
+            .iter()
+            .flat_map(|(vs, m)| m.iter().map(move |(p, n)| (*vs, p, n)))
+    }
+
+    /// Rebuild one node from checkpoint data, with full `nodes` /
+    /// `payload_bytes` / `entries` bookkeeping. The caller must not restore
+    /// a key that already exists.
+    pub fn restore_node(
+        &mut self,
+        vs: Time,
+        payload: P,
+        per_input: &[(u32, Time)],
+        output_ve: Option<Time>,
+    ) {
+        self.entries += per_input.len();
+        let node = self.add_node(vs, payload);
+        node.per_input = per_input.to_vec();
+        node.output_ve = output_ve;
+    }
+
+    /// Estimated memory: tree structure, the per-`Vs` payload tiers
+    /// (modelled by [`btree_bytes`] so the figure is a pure function of the
+    /// contents — a restored index reports the same bytes as its source),
+    /// shared payloads, and per-input entries.
     pub fn memory_bytes(&self) -> usize {
         const TIER_OVERHEAD: usize = 48; // BTree node amortized per key
         const ENTRY_BYTES: usize = std::mem::size_of::<(u32, Time)>() + 16;
         let tables: usize = self
             .tiers
             .values()
-            .map(|m| hash_table_bytes(m.len(), std::mem::size_of::<(P, Node)>()))
+            .map(|m| btree_bytes(m.len(), std::mem::size_of::<(P, Node)>()))
             .sum();
         self.tiers.len() * TIER_OVERHEAD + tables + self.payload_bytes + self.entries * ENTRY_BYTES
     }
@@ -366,8 +398,8 @@ mod tests {
     }
 
     #[test]
-    fn memory_accounts_for_tier_hash_tables() {
-        use crate::mem::hash_table_bytes;
+    fn memory_accounts_for_tier_trees() {
+        use crate::mem::btree_bytes;
         // Known shape: 10 nodes in one tier, no per-input entries, static
         // payloads (zero heap bytes) — the estimate is pinned exactly.
         let mut ix: In2t<&'static str> = In2t::new();
@@ -375,13 +407,37 @@ mod tests {
         for k in keys {
             ix.add_node(Time(1), k);
         }
-        let expected = 48 + hash_table_bytes(10, std::mem::size_of::<(&str, Node)>());
+        let expected = 48 + btree_bytes(10, std::mem::size_of::<(&str, Node)>());
         assert_eq!(ix.memory_bytes(), expected);
-        // 10 entries need a 16-bucket table under the 7/8 load factor.
+    }
+
+    #[test]
+    fn restore_rebuilds_an_identical_index() {
+        let mut ix: In2t<&'static str> = In2t::new();
+        let n = ix.add_node(Time(1), "A");
+        n.set_input(StreamId(0), Time(5));
+        n.set_input(StreamId(2), Time(9));
+        n.output_ve = Some(Time(5));
+        ix.note_entry_added();
+        ix.note_entry_added();
+        ix.add_node(Time(7), "B").set_input(StreamId(1), Time(8));
+        ix.note_entry_added();
+
+        let mut back: In2t<&'static str> = In2t::new();
+        for (vs, p, node) in ix.iter_all() {
+            let per_input: Vec<(u32, Time)> = node.entries().map(|(s, ve)| (s.0, ve)).collect();
+            back.restore_node(vs, *p, &per_input, node.output_ve);
+        }
+        assert_eq!(back.len(), ix.len());
+        assert_eq!(back.memory_bytes(), ix.memory_bytes());
+        let a: Vec<_> = ix.iter_all().map(|(vs, p, _)| (vs, *p)).collect();
+        let b: Vec<_> = back.iter_all().map(|(vs, p, _)| (vs, *p)).collect();
+        assert_eq!(a, b, "canonical iteration survives the round trip");
         assert_eq!(
-            hash_table_bytes(10, std::mem::size_of::<(&str, Node)>()),
-            16 * (std::mem::size_of::<(&str, Node)>() + 1)
+            back.get(Time(1), &"A").unwrap().input_ve(StreamId(2)),
+            Some(Time(9))
         );
+        assert_eq!(back.get(Time(1), &"A").unwrap().output_ve, Some(Time(5)));
     }
 
     #[test]

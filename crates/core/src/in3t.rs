@@ -4,10 +4,13 @@
 //! `Ve`s, plus exact duplicates. `in3t` therefore replaces `in2t`'s single
 //! `Ve` per stream with a small ordered map `Ve → count` per stream (the
 //! paper uses a red-black tree with counts).
+//!
+//! Like `in2t`, every tier is an *ordered* map so that iteration is a pure
+//! function of the index's contents — the restorable-iteration property
+//! the durability layer's byte-identical recovery depends on.
 
-use crate::det::DetHashMap;
 use crate::in2t::SweepAction;
-use crate::mem::hash_table_bytes;
+use crate::mem::btree_bytes;
 use lmerge_temporal::{Payload, StreamId, Time};
 use std::collections::BTreeMap;
 
@@ -18,7 +21,7 @@ pub type VeCounts = BTreeMap<Time, usize>;
 #[derive(Clone, Debug, Default)]
 pub struct Node {
     /// Each input stream's live `Ve` multiset.
-    pub per_input: DetHashMap<u32, VeCounts>,
+    pub per_input: BTreeMap<u32, VeCounts>,
     /// The output's live `Ve` multiset (the "special key ∞" entry).
     pub output: VeCounts,
 }
@@ -95,7 +98,7 @@ impl Node {
 /// The three-tier index: `Vs → (Payload → Node)`, nodes holding `Ve` trees.
 #[derive(Debug, Default)]
 pub struct In3t<P: Payload> {
-    tiers: BTreeMap<Time, DetHashMap<P, Node>>,
+    tiers: BTreeMap<Time, BTreeMap<P, Node>>,
     nodes: usize,
     payload_bytes: usize,
 }
@@ -208,20 +211,27 @@ impl<P: Payload> In3t<P> {
         }
     }
 
-    /// Estimated memory: tree structure, the per-`Vs` tier hash tables and
-    /// each node's per-stream hash table (bucket arrays modelled by
-    /// [`hash_table_bytes`]), shared payloads, and per-stream `Ve` tree
-    /// entries.
+    /// Iterate every node in canonical `(Vs, payload)` order — the
+    /// checkpoint export walk, including nodes at `Vs = ∞`.
+    pub fn iter_all(&self) -> impl Iterator<Item = (Time, &P, &Node)> + '_ {
+        self.tiers
+            .iter()
+            .flat_map(|(vs, m)| m.iter().map(move |(p, n)| (*vs, p, n)))
+    }
+
+    /// Estimated memory: tree structure, the per-`Vs` payload tiers and
+    /// each node's per-stream tree (modelled by [`btree_bytes`] so the
+    /// figure is a pure function of the contents), shared payloads, and
+    /// per-stream `Ve` tree entries.
     pub fn memory_bytes(&self) -> usize {
         const TIER_OVERHEAD: usize = 48;
         const VE_ENTRY: usize = std::mem::size_of::<(Time, usize)>() + 16;
         let mut entries = 0usize;
         let mut tables = 0usize;
         for m in self.tiers.values() {
-            tables += hash_table_bytes(m.len(), std::mem::size_of::<(P, Node)>());
+            tables += btree_bytes(m.len(), std::mem::size_of::<(P, Node)>());
             for node in m.values() {
-                tables +=
-                    hash_table_bytes(node.per_input.len(), std::mem::size_of::<(u32, VeCounts)>());
+                tables += btree_bytes(node.per_input.len(), std::mem::size_of::<(u32, VeCounts)>());
                 entries += node.output.len();
                 entries += node.per_input.values().map(BTreeMap::len).sum::<usize>();
             }
@@ -300,20 +310,45 @@ mod tests {
     }
 
     #[test]
-    fn memory_accounts_for_hash_tables() {
-        use crate::mem::hash_table_bytes;
+    fn memory_accounts_for_tier_trees() {
+        use crate::mem::btree_bytes;
         let mut ix: In3t<&'static str> = In3t::new();
         let n = ix.entry(Time(1), &"A");
         n.increment(StreamId(0), Time(5));
         n.increment(StreamId(1), Time(6));
         n.out_increment(Time(5));
-        // One tier table (1 node), one per-input table (2 streams), three
-        // Ve entries (two input, one output) — pinned exactly.
+        // One tier map (1 node), one per-input map (2 streams), three Ve
+        // entries (two input, one output) — pinned exactly.
         let expected = 48
-            + hash_table_bytes(1, std::mem::size_of::<(&str, Node)>())
-            + hash_table_bytes(2, std::mem::size_of::<(u32, VeCounts)>())
+            + btree_bytes(1, std::mem::size_of::<(&str, Node)>())
+            + btree_bytes(2, std::mem::size_of::<(u32, VeCounts)>())
             + 3 * (std::mem::size_of::<(Time, usize)>() + 16);
         assert_eq!(ix.memory_bytes(), expected);
+    }
+
+    #[test]
+    fn iter_all_walks_canonical_order_and_supports_rebuild() {
+        let mut ix: In3t<&'static str> = In3t::new();
+        ix.entry(Time(5), &"B").increment(StreamId(1), Time(9));
+        let n = ix.entry(Time(1), &"A");
+        n.increment(StreamId(0), Time(5));
+        n.increment(StreamId(0), Time(5));
+        n.out_increment(Time(5));
+
+        let mut back: In3t<&'static str> = In3t::new();
+        for (vs, p, node) in ix.iter_all() {
+            let restored = back.entry(vs, p);
+            restored.per_input = node.per_input.clone();
+            restored.output = node.output.clone();
+        }
+        assert_eq!(back.len(), ix.len());
+        assert_eq!(back.memory_bytes(), ix.memory_bytes());
+        let a: Vec<_> = ix.iter_all().map(|(vs, p, _)| (vs, *p)).collect();
+        assert_eq!(a, vec![(Time(1), "A"), (Time(5), "B")]);
+        let b: Vec<_> = back.iter_all().map(|(vs, p, _)| (vs, *p)).collect();
+        assert_eq!(a, b);
+        assert_eq!(back.get(Time(1), &"A").unwrap().count_of(StreamId(0)), 2);
+        assert_eq!(back.get(Time(1), &"A").unwrap().count_out(), 1);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod r4;
 pub mod select;
 pub mod shard;
 pub mod spsc;
+pub mod state;
 pub mod stats;
 
 pub use api::{BatchMeta, InputHealth, LogicalMerge};
@@ -49,7 +50,7 @@ pub use det::{DetBuildHasher, DetHashMap};
 pub use hash::{fnv1a, Fnv1a};
 pub use in2t::SweepAction;
 pub use inputs::{HealthTransitions, InputState, Inputs};
-pub use mem::hash_table_bytes;
+pub use mem::{btree_bytes, hash_table_bytes};
 pub use merge::{merge_streams, Interleave};
 pub use policy::{AdjustPolicy, InsertPolicy, MergePolicy, RobustnessPolicy, StablePolicy};
 pub use r0::LMergeR0;
@@ -60,4 +61,7 @@ pub use r3_naive::LMergeR3Naive;
 pub use r4::LMergeR4;
 pub use select::{new_for_level, new_for_properties};
 pub use shard::{queue_bytes, shard_of, ShardConfig, ShardedLMerge};
+pub use state::{
+    CountersImage, InputStateImage, MergeStateImage, SpillHandler, StateEntry, VariantKind,
+};
 pub use stats::{InputCounters, MergeStats, PerInput};

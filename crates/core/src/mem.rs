@@ -23,6 +23,23 @@ pub fn hash_table_bytes(len: usize, entry_bytes: usize) -> usize {
     buckets * (entry_bytes + 1)
 }
 
+/// Estimated heap bytes of a `std::collections::BTreeMap` holding `len`
+/// entries of `entry_bytes` each.
+///
+/// B-tree nodes hold up to 11 entries (B = 6) and are at least half full
+/// once the tree has more than one node, so the amortized per-entry
+/// overhead is small and — unlike a hash table's bucket array — the
+/// allocation is a pure function of the entry count. The durable layer
+/// relies on that purity: a restored index must report the same bytes as
+/// the index it was exported from.
+pub fn btree_bytes(len: usize, entry_bytes: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    // Per-entry slot plus amortized node headers/edges (~16 bytes/entry).
+    len * (entry_bytes + 16)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -30,6 +47,13 @@ mod tests {
     #[test]
     fn empty_table_is_free() {
         assert_eq!(hash_table_bytes(0, 56), 0);
+        assert_eq!(btree_bytes(0, 56), 0);
+    }
+
+    #[test]
+    fn btree_model_is_linear_in_entries() {
+        assert_eq!(btree_bytes(1, 10), 26);
+        assert_eq!(btree_bytes(10, 10), 260);
     }
 
     #[test]

@@ -115,6 +115,28 @@ impl<P: Payload> LogicalMerge<P> for LMergeR0<P> {
     fn level(&self) -> RLevel {
         RLevel::R0
     }
+
+    fn export_state(&self) -> Option<crate::state::MergeStateImage<P>> {
+        let mut img = crate::state::MergeStateImage::with_common(
+            crate::state::VariantKind::R0,
+            &self.inputs,
+            &self.per_input,
+            self.stats,
+        );
+        img.max_vs = self.max_vs;
+        img.max_stable = self.max_stable;
+        Some(img)
+    }
+
+    fn restore_state(&mut self, image: crate::state::MergeStateImage<P>) -> bool {
+        if image.kind != crate::state::VariantKind::R0 {
+            return false;
+        }
+        self.stats = image.apply_common(&mut self.inputs, &mut self.per_input);
+        self.max_vs = image.max_vs;
+        self.max_stable = image.max_stable;
+        true
+    }
 }
 
 #[cfg(test)]

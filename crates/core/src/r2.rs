@@ -165,6 +165,74 @@ impl<P: Payload> LogicalMerge<P> for LMergeR2<P> {
     fn level(&self) -> RLevel {
         RLevel::R2
     }
+
+    fn export_state(&self) -> Option<crate::state::MergeStateImage<P>> {
+        let mut img = crate::state::MergeStateImage::with_common(
+            crate::state::VariantKind::R2,
+            &self.inputs,
+            &self.per_input,
+            self.stats,
+        );
+        img.max_vs = self.max_vs;
+        img.max_stable = self.max_stable;
+        // The live table is a hash map, so the export sorts by payload to
+        // reach the canonical entry order the image contract requires.
+        // Counts are carried as a single `(Time::MIN, n)` bucket — R2 has no
+        // per-occurrence `Ve` to remember, only multiplicities at `max_vs`.
+        let mut entries: Vec<crate::state::StateEntry<P>> = self
+            .at_max_vs
+            .iter()
+            .map(|(p, c)| {
+                let mut per_input: Vec<(u32, Vec<(Time, u64)>)> = c
+                    .per_input
+                    .iter()
+                    .map(|&(id, n)| (id, vec![(Time::MIN, n)]))
+                    .collect();
+                per_input.sort_by_key(|e| e.0);
+                crate::state::StateEntry {
+                    vs: self.max_vs,
+                    payload: p.clone(),
+                    per_input,
+                    output: if c.out > 0 {
+                        vec![(Time::MIN, c.out)]
+                    } else {
+                        Vec::new()
+                    },
+                }
+            })
+            .collect();
+        entries.sort_by(|a, b| a.payload.cmp(&b.payload));
+        img.entries = entries;
+        Some(img)
+    }
+
+    fn restore_state(&mut self, image: crate::state::MergeStateImage<P>) -> bool {
+        if image.kind != crate::state::VariantKind::R2 {
+            return false;
+        }
+        self.stats = image.apply_common(&mut self.inputs, &mut self.per_input);
+        self.max_vs = image.max_vs;
+        self.max_stable = image.max_stable;
+        self.payload_bytes = image.entries.iter().map(|e| e.payload.heap_bytes()).sum();
+        self.at_max_vs = image
+            .entries
+            .iter()
+            .map(|e| {
+                (
+                    e.payload.clone(),
+                    Counts {
+                        per_input: e
+                            .per_input
+                            .iter()
+                            .map(|(id, m)| (*id, m.first().map_or(0, |&(_, n)| n)))
+                            .collect(),
+                        out: e.output.first().map_or(0, |&(_, n)| n),
+                    },
+                )
+            })
+            .collect();
+        true
+    }
 }
 
 #[cfg(test)]

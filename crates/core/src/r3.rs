@@ -45,6 +45,9 @@ pub struct LMergeR3<P: Payload> {
     leader: Option<StreamId>,
     /// Live index entries held per input (robustness memory guard).
     live_entries: Vec<u64>,
+    /// Where `max_live_entries` demotions spill their half-frozen state
+    /// (none: demotion drops it, the pre-durability behaviour).
+    spill: crate::state::SpillSlot<P>,
 }
 
 impl<P: Payload> LMergeR3<P> {
@@ -64,6 +67,7 @@ impl<P: Payload> LMergeR3<P> {
             per_input: PerInput::new(n),
             leader: None,
             live_entries: vec![0; n],
+            spill: crate::state::SpillSlot::default(),
         }
     }
 
@@ -91,10 +95,30 @@ impl<P: Payload> LMergeR3<P> {
 
     /// Bounded-memory guard: demote (detach) an input once it exceeds its
     /// live-entry budget. Checked at push/push_batch boundaries so the
-    /// per-element hot paths stay branch-light.
+    /// per-element hot paths stay branch-light. With a spill handler
+    /// installed, the input's half-frozen entries leave as a sorted run
+    /// before the detach drops them from the index.
     fn enforce_entry_bound(&mut self, input: StreamId) {
         if let Some(bound) = self.policy.robustness.max_live_entries {
             if self.live_entries(input) > bound {
+                if let Some(handler) = self.spill.0.as_mut() {
+                    let run: Vec<crate::state::StateEntry<P>> = self
+                        .index
+                        .iter_all()
+                        .filter_map(|(vs, payload, node)| {
+                            let ve = node.input_ve(input)?;
+                            Some(crate::state::StateEntry {
+                                vs,
+                                payload: payload.clone(),
+                                per_input: vec![(input.0, vec![(ve, 1)])],
+                                output: node.output_ve.map(|v| vec![(v, 1)]).unwrap_or_default(),
+                            })
+                        })
+                        .collect();
+                    if !run.is_empty() {
+                        handler.spill(input, &run);
+                    }
+                }
                 self.detach(input);
             }
         }
@@ -425,6 +449,60 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3<P> {
 
     fn level(&self) -> RLevel {
         RLevel::R3
+    }
+
+    fn export_state(&self) -> Option<crate::state::MergeStateImage<P>> {
+        let mut img = crate::state::MergeStateImage::with_common(
+            crate::state::VariantKind::R3,
+            &self.inputs,
+            &self.per_input,
+            self.stats,
+        );
+        img.max_stable = self.max_stable;
+        img.leader = self.leader.map(|s| s.0);
+        img.live_entries = self.live_entries.clone();
+        img.entries = self
+            .index
+            .iter_all()
+            .map(|(vs, payload, node)| {
+                let mut per_input: Vec<(u32, Vec<(Time, u64)>)> =
+                    node.entries().map(|(s, ve)| (s.0, vec![(ve, 1)])).collect();
+                per_input.sort_by_key(|e| e.0);
+                crate::state::StateEntry {
+                    vs,
+                    payload: payload.clone(),
+                    per_input,
+                    output: node.output_ve.map(|v| vec![(v, 1)]).unwrap_or_default(),
+                }
+            })
+            .collect();
+        Some(img)
+    }
+
+    fn restore_state(&mut self, image: crate::state::MergeStateImage<P>) -> bool {
+        if image.kind != crate::state::VariantKind::R3 {
+            return false;
+        }
+        self.stats = image.apply_common(&mut self.inputs, &mut self.per_input);
+        self.max_stable = image.max_stable;
+        self.leader = image.leader.map(StreamId);
+        self.live_entries = image.live_entries.clone();
+        self.index = In2t::new();
+        for entry in &image.entries {
+            let per_input: Vec<(u32, Time)> = entry
+                .per_input
+                .iter()
+                .filter_map(|(id, m)| m.first().map(|&(ve, _)| (*id, ve)))
+                .collect();
+            let output_ve = entry.output.first().map(|&(ve, _)| ve);
+            self.index
+                .restore_node(entry.vs, entry.payload.clone(), &per_input, output_ve);
+        }
+        true
+    }
+
+    fn set_spill_handler(&mut self, handler: Box<dyn crate::state::SpillHandler<P>>) {
+        self.spill.0 = Some(handler);
     }
 }
 

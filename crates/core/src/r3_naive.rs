@@ -11,7 +11,6 @@
 //! Figures 2 and 7 measure.
 
 use crate::api::{InputHealth, LogicalMerge};
-use crate::det::DetHashMap;
 use crate::in2t::SweepAction;
 use crate::inputs::Inputs;
 use crate::stats::{InputCounters, MergeStats, PerInput};
@@ -20,9 +19,14 @@ use lmerge_temporal::{Element, Payload, StreamId, Time};
 use std::collections::BTreeMap;
 
 /// One per-stream event index: `Vs → (Payload → Ve)`, payloads owned.
+///
+/// The inner tier is an ordered map (not a hash map) for the same reason as
+/// `in2t`: reconciliation sweeps iterate it and their emission order is
+/// consumer-visible, so iteration must be a pure function of contents for a
+/// checkpoint-restored index to replay byte-identically.
 #[derive(Debug, Default)]
 struct EventIndex<P: Payload> {
-    map: BTreeMap<Time, DetHashMap<P, Time>>,
+    map: BTreeMap<Time, BTreeMap<P, Time>>,
     payload_bytes: usize,
     entries: usize,
 }
@@ -96,6 +100,33 @@ impl<P: Payload> EventIndex<P> {
         self.map.len() * TIER_OVERHEAD
             + self.entries * (std::mem::size_of::<(P, Time)>() + ENTRY_OVERHEAD)
             + self.payload_bytes
+    }
+
+    /// Export every `(Vs, payload, Ve)` entry in canonical order. The `Ve`
+    /// travels in the image entry's `output` field as a `(ve, 1)` bucket.
+    fn export(&self) -> Vec<crate::state::StateEntry<P>> {
+        self.map
+            .iter()
+            .flat_map(|(vs, m)| {
+                m.iter().map(|(p, ve)| crate::state::StateEntry {
+                    vs: *vs,
+                    payload: p.clone(),
+                    per_input: Vec::new(),
+                    output: vec![(*ve, 1)],
+                })
+            })
+            .collect()
+    }
+
+    /// Rebuild an index from exported entries.
+    fn restore(entries: &[crate::state::StateEntry<P>]) -> EventIndex<P> {
+        let mut ix = EventIndex::new();
+        for e in entries {
+            if let Some(&(ve, _)) = e.output.first() {
+                ix.set(e.vs, &e.payload, ve);
+            }
+        }
+        ix
     }
 }
 
@@ -287,6 +318,34 @@ impl<P: Payload> LogicalMerge<P> for LMergeR3Naive<P> {
 
     fn level(&self) -> RLevel {
         RLevel::R3
+    }
+
+    fn export_state(&self) -> Option<crate::state::MergeStateImage<P>> {
+        let mut img = crate::state::MergeStateImage::with_common(
+            crate::state::VariantKind::R3Naive,
+            &self.inputs,
+            &self.input_tallies,
+            self.stats,
+        );
+        img.max_stable = self.max_stable;
+        img.entries = self.output.export();
+        img.input_indexes = self.per_input.iter().map(EventIndex::export).collect();
+        Some(img)
+    }
+
+    fn restore_state(&mut self, image: crate::state::MergeStateImage<P>) -> bool {
+        if image.kind != crate::state::VariantKind::R3Naive {
+            return false;
+        }
+        self.stats = image.apply_common(&mut self.inputs, &mut self.input_tallies);
+        self.max_stable = image.max_stable;
+        self.output = EventIndex::restore(&image.entries);
+        self.per_input = image
+            .input_indexes
+            .iter()
+            .map(|ix| EventIndex::restore(ix))
+            .collect();
+        true
     }
 }
 

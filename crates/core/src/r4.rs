@@ -28,6 +28,9 @@ pub struct LMergeR4<P: Payload> {
     robustness: RobustnessPolicy,
     /// Live index entries held per input (robustness memory guard).
     live_entries: Vec<u64>,
+    /// Where `max_live_entries` demotions spill their half-frozen state
+    /// (none: demotion drops it, the pre-durability behaviour).
+    spill: crate::state::SpillSlot<P>,
 }
 
 impl<P: Payload> LMergeR4<P> {
@@ -46,6 +49,7 @@ impl<P: Payload> LMergeR4<P> {
             per_input: PerInput::new(n),
             robustness,
             live_entries: vec![0; n],
+            spill: crate::state::SpillSlot::default(),
         }
     }
 
@@ -72,10 +76,37 @@ impl<P: Payload> LMergeR4<P> {
     }
 
     /// Bounded-memory guard: demote (detach) an input once it exceeds its
-    /// live-entry budget (checked at push/push_batch boundaries).
+    /// live-entry budget (checked at push/push_batch boundaries). With a
+    /// spill handler installed, the input's half-frozen multisets leave as
+    /// a sorted run before the detach drops them from the index.
     fn enforce_entry_bound(&mut self, input: StreamId) {
         if let Some(bound) = self.robustness.max_live_entries {
             if self.live_entries(input) > bound {
+                if let Some(handler) = self.spill.0.as_mut() {
+                    let run: Vec<crate::state::StateEntry<P>> = self
+                        .index
+                        .iter_all()
+                        .filter_map(|(vs, payload, node)| {
+                            let counts = node.per_input.get(&input.0)?;
+                            Some(crate::state::StateEntry {
+                                vs,
+                                payload: payload.clone(),
+                                per_input: vec![(
+                                    input.0,
+                                    counts.iter().map(|(&ve, &c)| (ve, c as u64)).collect(),
+                                )],
+                                output: node
+                                    .output
+                                    .iter()
+                                    .map(|(&ve, &c)| (ve, c as u64))
+                                    .collect(),
+                            })
+                        })
+                        .collect();
+                    if !run.is_empty() {
+                        handler.spill(input, &run);
+                    }
+                }
                 self.detach(input);
             }
         }
@@ -449,6 +480,67 @@ impl<P: Payload> LogicalMerge<P> for LMergeR4<P> {
 
     fn level(&self) -> RLevel {
         RLevel::R4
+    }
+
+    fn export_state(&self) -> Option<crate::state::MergeStateImage<P>> {
+        let mut img = crate::state::MergeStateImage::with_common(
+            crate::state::VariantKind::R4,
+            &self.inputs,
+            &self.per_input,
+            self.stats,
+        );
+        img.max_stable = self.max_stable;
+        img.live_entries = self.live_entries.clone();
+        img.entries = self
+            .index
+            .iter_all()
+            .map(|(vs, payload, node)| crate::state::StateEntry {
+                vs,
+                payload: payload.clone(),
+                per_input: node
+                    .per_input
+                    .iter()
+                    .map(|(&id, counts)| {
+                        (id, counts.iter().map(|(&ve, &c)| (ve, c as u64)).collect())
+                    })
+                    .collect(),
+                output: node.output.iter().map(|(&ve, &c)| (ve, c as u64)).collect(),
+            })
+            .collect();
+        Some(img)
+    }
+
+    fn restore_state(&mut self, image: crate::state::MergeStateImage<P>) -> bool {
+        if image.kind != crate::state::VariantKind::R4 {
+            return false;
+        }
+        self.stats = image.apply_common(&mut self.inputs, &mut self.per_input);
+        self.max_stable = image.max_stable;
+        self.live_entries = image.live_entries.clone();
+        self.index = In3t::new();
+        for entry in &image.entries {
+            let node = self.index.entry(entry.vs, &entry.payload);
+            node.per_input = entry
+                .per_input
+                .iter()
+                .map(|(id, counts)| {
+                    (
+                        *id,
+                        counts.iter().map(|&(ve, c)| (ve, c as usize)).collect(),
+                    )
+                })
+                .collect();
+            node.output = entry
+                .output
+                .iter()
+                .map(|&(ve, c)| (ve, c as usize))
+                .collect();
+        }
+        true
+    }
+
+    fn set_spill_handler(&mut self, handler: Box<dyn crate::state::SpillHandler<P>>) {
+        self.spill.0 = Some(handler);
     }
 }
 

@@ -368,6 +368,40 @@ impl<P: Payload> LogicalMerge<P> for ShardedLMerge<P> {
     fn level(&self) -> RLevel {
         self.shards[0].level()
     }
+
+    fn export_state(&self) -> Option<crate::state::MergeStateImage<P>> {
+        let mut img = crate::state::MergeStateImage::with_common(
+            crate::state::VariantKind::Sharded,
+            &self.inputs,
+            &self.per_input,
+            self.stats,
+        );
+        img.watermark = self.watermark;
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            // All-or-nothing: a wrapper around an unexportable inner
+            // operator is itself unexportable.
+            shards.push(s.export_state()?);
+        }
+        img.shards = shards;
+        Some(img)
+    }
+
+    fn restore_state(&mut self, image: crate::state::MergeStateImage<P>) -> bool {
+        if image.kind != crate::state::VariantKind::Sharded
+            || image.shards.len() != self.shards.len()
+        {
+            return false;
+        }
+        for (shard, shard_img) in self.shards.iter_mut().zip(image.shards.iter()) {
+            if !shard.restore_state(shard_img.clone()) {
+                return false;
+            }
+        }
+        self.stats = image.apply_common(&mut self.inputs, &mut self.per_input);
+        self.watermark = image.watermark;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,291 @@
+//! Canonical, serializable images of LMerge operator state.
+//!
+//! A [`MergeStateImage`] is everything a merge variant needs to continue a
+//! run after the process hosting it dies: index entries, per-input
+//! multisets, output support, stable watermarks, robustness/lifecycle
+//! state, and counters. Every variant of the spectrum exports into (and
+//! restores from) this one shape; variants simply leave the fields they do
+//! not track empty. The durability crate serializes images to checkpoint
+//! files; the chaos layer round-trips them in memory to simulate a merge
+//! death.
+//!
+//! The shape is deliberately *canonical*: entries are sorted by `(Vs,
+//! payload)` and per-input multisets by `(input, Ve)`, so two exports of
+//! equal logical state are byte-identical when encoded — which is what
+//! lets the crash-recovery conformance tests compare a restored run
+//! against a never-killed one at the trace level.
+
+use lmerge_temporal::{Payload, StreamId, Time};
+
+/// Which variant of the spectrum produced an image. Restore refuses an
+/// image from a different variant: the per-variant invariants (what the
+/// entry fields mean) do not transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VariantKind {
+    /// R0: insert-only, strictly increasing `Vs`.
+    R0,
+    /// R1: insert-only, non-decreasing `Vs`.
+    R1,
+    /// R2: insert-only, non-decreasing, `(Vs, Payload)` key.
+    R2,
+    /// R3: the indexed general algorithm (in2t).
+    R3,
+    /// The naive per-input-index baseline.
+    R3Naive,
+    /// R4: the multiset algorithm (in3t).
+    R4,
+    /// A hash-partitioned wrapper around per-shard images.
+    Sharded,
+}
+
+impl VariantKind {
+    /// Stable numeric tag used by the durable codec.
+    pub fn tag(self) -> u8 {
+        match self {
+            VariantKind::R0 => 0,
+            VariantKind::R1 => 1,
+            VariantKind::R2 => 2,
+            VariantKind::R3 => 3,
+            VariantKind::R3Naive => 4,
+            VariantKind::R4 => 5,
+            VariantKind::Sharded => 6,
+        }
+    }
+
+    /// Inverse of [`tag`](VariantKind::tag).
+    pub fn from_tag(tag: u8) -> Option<VariantKind> {
+        Some(match tag {
+            0 => VariantKind::R0,
+            1 => VariantKind::R1,
+            2 => VariantKind::R2,
+            3 => VariantKind::R3,
+            4 => VariantKind::R3Naive,
+            5 => VariantKind::R4,
+            6 => VariantKind::Sharded,
+            _ => return None,
+        })
+    }
+}
+
+/// One indexed event: its key, its per-input support, and what the merge
+/// has emitted for it.
+///
+/// The field meanings are variant-relative:
+/// * **R3 (in2t)** — each input holds at most one `Ve` per entry, so every
+///   multiset is a single `(ve, 1)` pair; `output` is the emitted `Ve`.
+/// * **R4 (in3t)** — true multisets of `(ve, count)`.
+/// * **R2** — occurrence counts at `max_vs`, carried as `(Time::MIN, n)`.
+/// * **naive baseline** — `output` is the output index's `Ve`; per-input
+///   indexes travel in [`MergeStateImage::input_indexes`] instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateEntry<P> {
+    /// The event's valid-start time (the index key's first half).
+    pub vs: Time,
+    /// The event's payload (the index key's second half).
+    pub payload: P,
+    /// Per-input `Ve` support: `(input, [(ve, count)])`, sorted by input
+    /// then `ve`.
+    pub per_input: Vec<(u32, Vec<(Time, u64)>)>,
+    /// The output-side view: `[(ve, count)]`, sorted by `ve`.
+    pub output: Vec<(Time, u64)>,
+}
+
+/// A serializable copy of one input's lifecycle state (mirrors
+/// `inputs::InputState`, which stays private to the registry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputStateImage {
+    /// Attached and fully trusted.
+    Active,
+    /// Attached, gated until the output stable covers the join time.
+    Joining(Time),
+    /// Demoted by a robustness policy.
+    Quarantined,
+    /// Detached.
+    Left,
+}
+
+/// Everything one merge operator needs to continue after a restart.
+///
+/// Constructed by [`LogicalMerge::export_state`](crate::LogicalMerge::export_state)
+/// and consumed by [`LogicalMerge::restore_state`](crate::LogicalMerge::restore_state).
+/// Fields a variant does not track are simply empty/`MIN` — the image is
+/// the union of the spectrum's state shapes, not an intersection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeStateImage<P> {
+    /// Which variant produced the image.
+    pub kind: VariantKind,
+    /// High-water `Vs` (R0–R2 ordering cursor).
+    pub max_vs: Time,
+    /// The output stable point.
+    pub max_stable: Time,
+    /// Sharded wrapper's emitted watermark (min over shard stables).
+    pub watermark: Time,
+    /// R3's sweep leader (the input whose punctuation drove the last sweep).
+    pub leader: Option<u32>,
+    /// R1's per-input emitted-at-`max_vs` tallies.
+    pub same_vs_count: Vec<u64>,
+    /// R3/R4's per-input live-entry counters (robustness accounting).
+    pub live_entries: Vec<u64>,
+    /// Per-input lifecycle states, indexed by stream id.
+    pub input_states: Vec<InputStateImage>,
+    /// Lifetime health-transition counts `(quarantines, restores,
+    /// departures)`.
+    pub transitions: (u64, u64, u64),
+    /// Per-input delivery counters, indexed by stream id.
+    pub counters: Vec<CountersImage>,
+    /// Output/element counters: `(inserts_in, adjusts_in, stables_in,
+    /// inserts_out, adjusts_out, stables_out, dropped)`.
+    pub stats: (u64, u64, u64, u64, u64, u64, u64),
+    /// The shared index entries (R2/R3/R4: the live index; naive: the
+    /// output index).
+    pub entries: Vec<StateEntry<P>>,
+    /// The naive baseline's per-input indexes, indexed by stream id; each
+    /// entry's `output` field carries that index's `Ve` as `[(ve, 1)]`.
+    pub input_indexes: Vec<Vec<StateEntry<P>>>,
+    /// Per-shard images for [`VariantKind::Sharded`]; empty otherwise.
+    pub shards: Vec<MergeStateImage<P>>,
+}
+
+/// Serializable copy of one input's `InputCounters`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountersImage {
+    /// Insert elements delivered by this input.
+    pub inserts: u64,
+    /// Adjust elements delivered by this input.
+    pub adjusts: u64,
+    /// Stable punctuations delivered by this input.
+    pub stables: u64,
+    /// The latest stable point this input announced.
+    pub last_stable: Time,
+}
+
+impl<P: Payload> MergeStateImage<P> {
+    /// An empty image for `kind` — every field at its "not tracked" value.
+    pub fn empty(kind: VariantKind) -> MergeStateImage<P> {
+        MergeStateImage {
+            kind,
+            max_vs: Time::MIN,
+            max_stable: Time::MIN,
+            watermark: Time::MIN,
+            leader: None,
+            same_vs_count: Vec::new(),
+            live_entries: Vec::new(),
+            input_states: Vec::new(),
+            transitions: (0, 0, 0),
+            counters: Vec::new(),
+            stats: (0, 0, 0, 0, 0, 0, 0),
+            entries: Vec::new(),
+            input_indexes: Vec::new(),
+            shards: Vec::new(),
+        }
+    }
+
+    /// Total entries across the shared index, the per-input indexes, and
+    /// nested shard images — the "how much state would we persist" figure
+    /// behind the checkpoint metrics.
+    pub fn total_entries(&self) -> usize {
+        self.entries.len()
+            + self.input_indexes.iter().map(Vec::len).sum::<usize>()
+            + self.shards.iter().map(Self::total_entries).sum::<usize>()
+    }
+
+    /// An image of `kind` pre-filled with the state every variant shares:
+    /// the input registry, per-input delivery counters, and element stats.
+    pub(crate) fn with_common(
+        kind: VariantKind,
+        inputs: &crate::inputs::Inputs,
+        per_input: &crate::stats::PerInput,
+        stats: crate::stats::MergeStats,
+    ) -> MergeStateImage<P> {
+        let mut img = MergeStateImage::empty(kind);
+        img.input_states = inputs.export_states();
+        let t = inputs.transitions();
+        img.transitions = (t.quarantines, t.restores, t.departures);
+        img.counters = per_input.export_counters();
+        img.stats = stats.to_tuple();
+        img
+    }
+
+    /// Restore the shared state captured by
+    /// [`with_common`](MergeStateImage::with_common) into a variant's
+    /// registry and counter structures; returns the element stats.
+    pub(crate) fn apply_common(
+        &self,
+        inputs: &mut crate::inputs::Inputs,
+        per_input: &mut crate::stats::PerInput,
+    ) -> crate::stats::MergeStats {
+        let (q, r, d) = self.transitions;
+        inputs.restore_registry(
+            &self.input_states,
+            crate::inputs::HealthTransitions {
+                quarantines: q,
+                restores: r,
+                departures: d,
+            },
+        );
+        per_input.restore_counters(&self.counters);
+        crate::stats::MergeStats::from_tuple(self.stats)
+    }
+}
+
+/// Where demoted state goes when a `max_live_entries` bound trips.
+///
+/// R3/R4 call [`spill`](SpillHandler::spill) with the flooding input's
+/// half-frozen entries (sorted by `(Vs, payload)`) *before* falling back to
+/// the detach-and-drop demotion. Returning `true` claims the run: the
+/// input is still demoted (its punctuation can no longer be trusted), but
+/// the state left the process instead of vanishing — the durable crate's
+/// spill store k-way-merges the runs back on read.
+pub trait SpillHandler<P: Payload>: Send {
+    /// Persist one sorted run of demoted entries from `input`. Return
+    /// `false` to decline (the caller then drops the state as before).
+    fn spill(&mut self, input: StreamId, run: &[StateEntry<P>]) -> bool;
+}
+
+/// Internal holder for an optional spill handler that keeps the owning
+/// operator `derive(Debug)`-able (trait objects are not `Debug`).
+pub(crate) struct SpillSlot<P: Payload>(pub(crate) Option<Box<dyn SpillHandler<P>>>);
+
+impl<P: Payload> Default for SpillSlot<P> {
+    fn default() -> Self {
+        SpillSlot(None)
+    }
+}
+
+impl<P: Payload> std::fmt::Debug for SpillSlot<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "SpillSlot(installed)"
+        } else {
+            "SpillSlot(none)"
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_tags_round_trip() {
+        for kind in [
+            VariantKind::R0,
+            VariantKind::R1,
+            VariantKind::R2,
+            VariantKind::R3,
+            VariantKind::R3Naive,
+            VariantKind::R4,
+            VariantKind::Sharded,
+        ] {
+            assert_eq!(VariantKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(VariantKind::from_tag(200), None);
+    }
+
+    #[test]
+    fn empty_image_has_no_entries() {
+        let img: MergeStateImage<&'static str> = MergeStateImage::empty(VariantKind::R3);
+        assert_eq!(img.total_entries(), 0);
+        assert_eq!(img.kind, VariantKind::R3);
+    }
+}

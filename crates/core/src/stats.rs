@@ -49,6 +49,32 @@ impl MergeStats {
         self.inserts_out + self.adjusts_out <= self.inserts_in
             && self.stables_out <= self.stables_in
     }
+
+    /// The flat tuple shape the checkpoint image carries.
+    pub fn to_tuple(self) -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            self.inserts_in,
+            self.adjusts_in,
+            self.stables_in,
+            self.inserts_out,
+            self.adjusts_out,
+            self.stables_out,
+            self.dropped,
+        )
+    }
+
+    /// Inverse of [`to_tuple`](MergeStats::to_tuple).
+    pub fn from_tuple(t: (u64, u64, u64, u64, u64, u64, u64)) -> MergeStats {
+        MergeStats {
+            inserts_in: t.0,
+            adjusts_in: t.1,
+            stables_in: t.2,
+            inserts_out: t.3,
+            adjusts_out: t.4,
+            stables_out: t.5,
+            dropped: t.6,
+        }
+    }
 }
 
 /// Delivery counters for one input replica.
@@ -147,6 +173,32 @@ impl PerInput {
     /// Approximate memory footprint of the registry.
     pub fn memory_bytes(&self) -> usize {
         self.counters.capacity() * std::mem::size_of::<InputCounters>()
+    }
+
+    /// Export every input's counters in id order (checkpointing).
+    pub fn export_counters(&self) -> Vec<crate::state::CountersImage> {
+        self.counters
+            .iter()
+            .map(|c| crate::state::CountersImage {
+                inserts: c.inserts,
+                adjusts: c.adjusts,
+                stables: c.stables,
+                last_stable: c.last_stable,
+            })
+            .collect()
+    }
+
+    /// Replace the registry wholesale from a checkpoint image.
+    pub fn restore_counters(&mut self, counters: &[crate::state::CountersImage]) {
+        self.counters = counters
+            .iter()
+            .map(|c| InputCounters {
+                inserts: c.inserts,
+                adjusts: c.adjusts,
+                stables: c.stables,
+                last_stable: c.last_stable,
+            })
+            .collect();
     }
 }
 

@@ -1,0 +1,670 @@
+//! The checkpoint store: versioned snapshot + delta files on disk.
+//!
+//! A checkpoint directory holds a numbered chain of files:
+//!
+//! ```text
+//! ck-00000000-snap.lmck     full RunImage
+//! ck-00000001-delta.lmck    diff against checkpoint 0
+//! ck-00000002-delta.lmck    diff against checkpoint 1
+//! ck-00000003-snap.lmck     full RunImage (chain restarts)
+//! ...
+//! ```
+//!
+//! Every file is a checksummed [`crate::codec`] envelope, written atomically
+//! (`.tmp` + rename) so a crash mid-write leaves at worst a stray temp file,
+//! never a torn checkpoint. A delta stores the executor image and the merge
+//! image's scalars in full (they are tiny) plus, for each index in a fixed
+//! pre-order traversal (shared entries, per-input indexes, then shards
+//! recursively), the keys removed and the entries inserted-or-changed since
+//! the previous checkpoint — computed by a sorted merge-walk over the
+//! canonical `(Vs, payload)` order. [`CheckpointStore::load_latest`]
+//! restores the newest snapshot and replays the deltas after it.
+
+use crate::codec::{envelope, open_envelope, put_count, Cursor, DurableError, FileKind};
+use crate::image::{
+    get_entry, get_exec_image, get_merge_image, get_run_image, put_entry, put_exec_image,
+    put_merge_image, put_run_image,
+};
+use crate::payload::DurablePayload;
+use lmerge_core::{MergeStateImage, StateEntry};
+use lmerge_engine::{CheckpointSave, CheckpointSink, RunImage};
+use lmerge_temporal::Time;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// How many deltas to chain after a snapshot before forcing the next
+/// snapshot. Bounds recovery replay work.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 4;
+
+/// One index's changes between two checkpoints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct IndexDiff<P> {
+    /// `(Vs, payload)` keys present before, absent now.
+    removed: Vec<(Time, P)>,
+    /// Entries new or changed (full replacement value).
+    upserts: Vec<StateEntry<P>>,
+}
+
+impl<P> Default for IndexDiff<P> {
+    fn default() -> IndexDiff<P> {
+        IndexDiff {
+            removed: Vec::new(),
+            upserts: Vec::new(),
+        }
+    }
+}
+
+/// Collect references to every entry index of an image in pre-order:
+/// shared entries, then per-input indexes, then shards recursively.
+fn indexes<P>(img: &MergeStateImage<P>) -> Vec<&Vec<StateEntry<P>>> {
+    fn walk<'a, P>(img: &'a MergeStateImage<P>, out: &mut Vec<&'a Vec<StateEntry<P>>>) {
+        out.push(&img.entries);
+        for idx in &img.input_indexes {
+            out.push(idx);
+        }
+        for shard in &img.shards {
+            walk(shard, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(img, &mut out);
+    out
+}
+
+/// Mutable counterpart of [`indexes`] — same traversal order.
+fn indexes_mut<P>(img: &mut MergeStateImage<P>) -> Vec<&mut Vec<StateEntry<P>>> {
+    fn walk<'a, P>(img: &'a mut MergeStateImage<P>, out: &mut Vec<&'a mut Vec<StateEntry<P>>>) {
+        out.push(&mut img.entries);
+        for idx in img.input_indexes.iter_mut() {
+            out.push(idx);
+        }
+        for shard in img.shards.iter_mut() {
+            walk(shard, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(img, &mut out);
+    out
+}
+
+/// Sorted merge-walk over two canonical indexes, producing the diff.
+fn diff_index<P: DurablePayload>(old: &[StateEntry<P>], new: &[StateEntry<P>]) -> IndexDiff<P> {
+    let mut diff = IndexDiff::default();
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() && j < new.len() {
+        let ko = (&old[i].vs, &old[i].payload);
+        let kn = (&new[j].vs, &new[j].payload);
+        match ko.cmp(&kn) {
+            std::cmp::Ordering::Less => {
+                diff.removed.push((old[i].vs, old[i].payload.clone()));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                diff.upserts.push(new[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if old[i] != new[j] {
+                    diff.upserts.push(new[j].clone());
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for e in &old[i..] {
+        diff.removed.push((e.vs, e.payload.clone()));
+    }
+    for e in &new[j..] {
+        diff.upserts.push(e.clone());
+    }
+    diff
+}
+
+/// Apply a diff to a base index, yielding the new canonical index.
+fn apply_diff<P: DurablePayload>(
+    base: &[StateEntry<P>],
+    diff: &IndexDiff<P>,
+) -> Vec<StateEntry<P>> {
+    let mut map: BTreeMap<(Time, P), StateEntry<P>> = base
+        .iter()
+        .map(|e| ((e.vs, e.payload.clone()), e.clone()))
+        .collect();
+    for key in &diff.removed {
+        map.remove(key);
+    }
+    for e in &diff.upserts {
+        map.insert((e.vs, e.payload.clone()), e.clone());
+    }
+    map.into_values().collect()
+}
+
+/// A copy of `img` with every entry index emptied — the scalar "skeleton"
+/// a delta stores in full.
+fn skeleton<P: DurablePayload>(img: &MergeStateImage<P>) -> MergeStateImage<P> {
+    let mut s = img.clone();
+    for idx in indexes_mut(&mut s) {
+        idx.clear();
+    }
+    s
+}
+
+/// Whether two images have the same index *structure* (per-input index
+/// count and shard tree). Deltas only make sense between same-structure
+/// images; the store falls back to a snapshot otherwise.
+fn same_structure<P>(a: &MergeStateImage<P>, b: &MergeStateImage<P>) -> bool {
+    a.input_indexes.len() == b.input_indexes.len()
+        && a.shards.len() == b.shards.len()
+        && a.shards
+            .iter()
+            .zip(&b.shards)
+            .all(|(x, y)| same_structure(x, y))
+}
+
+fn encode_snapshot<P: DurablePayload>(image: &RunImage<P>) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_run_image(&mut payload, image);
+    envelope(FileKind::Snapshot, &payload)
+}
+
+fn encode_delta<P: DurablePayload>(
+    base_seq: u64,
+    base: &RunImage<P>,
+    new: &RunImage<P>,
+) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&base_seq.to_le_bytes());
+    put_exec_image(&mut payload, &new.exec);
+    put_count(&mut payload, new.cursors.len());
+    for (next_seq, acked) in &new.cursors {
+        payload.extend_from_slice(&next_seq.to_le_bytes());
+        payload.extend_from_slice(&acked.to_le_bytes());
+    }
+    put_merge_image(&mut payload, &skeleton(&new.merge));
+    let old_idx = indexes(&base.merge);
+    let new_idx = indexes(&new.merge);
+    debug_assert_eq!(old_idx.len(), new_idx.len());
+    put_count(&mut payload, new_idx.len());
+    for (old, new) in old_idx.iter().zip(&new_idx) {
+        let diff = diff_index(old, new);
+        put_count(&mut payload, diff.removed.len());
+        for (vs, p) in &diff.removed {
+            payload.extend_from_slice(&vs.0.to_le_bytes());
+            p.encode(&mut payload);
+        }
+        put_count(&mut payload, diff.upserts.len());
+        for e in &diff.upserts {
+            put_entry(&mut payload, e);
+        }
+    }
+    envelope(FileKind::Delta, &payload)
+}
+
+/// Decode a delta payload and apply it to `base`, returning the restored
+/// image and the `base_seq` the delta claims to extend.
+fn apply_delta<P: DurablePayload>(
+    base: &RunImage<P>,
+    payload: &[u8],
+) -> Result<(u64, RunImage<P>), DurableError> {
+    let mut cur = Cursor::new(payload);
+    let base_seq = cur.u64()?;
+    let exec = get_exec_image(&mut cur)?;
+    let n = cur.count(16)?;
+    let mut cursors = Vec::with_capacity(n);
+    for _ in 0..n {
+        let next_seq = cur.u64()?;
+        cursors.push((next_seq, cur.i64()?));
+    }
+    let mut merge = get_merge_image::<P>(&mut cur)?;
+    if !same_structure(&merge, &base.merge) {
+        return Err(DurableError::Corrupt("delta structure mismatch"));
+    }
+    let n_idx = cur.count(8)?;
+    {
+        let base_idx = indexes(&base.merge);
+        if n_idx != base_idx.len() {
+            return Err(DurableError::Corrupt("delta index count mismatch"));
+        }
+        let mut restored = Vec::with_capacity(n_idx);
+        for old in base_idx {
+            let mut diff = IndexDiff::default();
+            let n = cur.count(8)?;
+            for _ in 0..n {
+                let vs = Time(cur.i64()?);
+                diff.removed.push((vs, P::decode(&mut cur)?));
+            }
+            let n = cur.count(8)?;
+            for _ in 0..n {
+                diff.upserts.push(get_entry(&mut cur)?);
+            }
+            restored.push(apply_diff(old, &diff));
+        }
+        for (slot, idx) in indexes_mut(&mut merge).into_iter().zip(restored) {
+            *slot = idx;
+        }
+    }
+    if !cur.is_empty() {
+        return Err(DurableError::Corrupt("trailing bytes after delta"));
+    }
+    Ok((
+        base_seq,
+        RunImage {
+            merge,
+            exec,
+            cursors,
+        },
+    ))
+}
+
+fn file_name(seq: u64, delta: bool) -> String {
+    format!("ck-{seq:08}-{}.lmck", if delta { "delta" } else { "snap" })
+}
+
+/// Parse `ck-NNNNNNNN-{snap,delta}.lmck`; returns `(seq, is_delta)`.
+fn parse_name(name: &str) -> Option<(u64, bool)> {
+    let rest = name.strip_prefix("ck-")?;
+    let (seq, kind) = rest.split_at(rest.find('-')?);
+    let seq: u64 = seq.parse().ok()?;
+    match kind {
+        "-snap.lmck" => Some((seq, false)),
+        "-delta.lmck" => Some((seq, true)),
+        _ => None,
+    }
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DurableError> {
+    let tmp = path.with_extension("lmck.tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// List `(seq, is_delta)` pairs present in `dir`, ascending by seq.
+fn scan(dir: &Path) -> Result<Vec<(u64, bool)>, DurableError> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(parsed) = entry.file_name().to_str().and_then(parse_name) {
+            found.push(parsed);
+        }
+    }
+    found.sort_unstable();
+    Ok(found)
+}
+
+/// The on-disk checkpoint chain for one run.
+pub struct CheckpointStore<P: DurablePayload> {
+    dir: PathBuf,
+    next_seq: u64,
+    snapshot_every: u64,
+    since_snapshot: u64,
+    base: Option<RunImage<P>>,
+}
+
+impl<P: DurablePayload> CheckpointStore<P> {
+    /// Open (or initialise) a checkpoint directory. If checkpoints already
+    /// exist, numbering continues after the latest and the latest image is
+    /// loaded as the delta base — a restarted store keeps delta-chaining.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<CheckpointStore<P>, DurableError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let (next_seq, base) = match Self::load_latest_in(&dir) {
+            Ok((seq, image)) => (seq + 1, Some(image)),
+            Err(DurableError::NoCheckpoint) => (0, None),
+            Err(e) => return Err(e),
+        };
+        Ok(CheckpointStore {
+            dir,
+            next_seq,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            since_snapshot: 0,
+            base,
+        })
+    }
+
+    /// Override how many deltas may chain after a snapshot.
+    #[must_use]
+    pub fn with_snapshot_every(mut self, every: u64) -> CheckpointStore<P> {
+        self.snapshot_every = every.max(1);
+        self
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sequence number the next [`save`](CheckpointStore::save) gets.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Persist one image. Returns `(seq, was_delta)`.
+    pub fn save(&mut self, image: &RunImage<P>) -> Result<(u64, bool), DurableError> {
+        let seq = self.next_seq;
+        let as_delta = match &self.base {
+            Some(base) if self.since_snapshot < self.snapshot_every => {
+                same_structure(&base.merge, &image.merge)
+            }
+            _ => false,
+        };
+        let bytes = if as_delta {
+            encode_delta(seq - 1, self.base.as_ref().unwrap(), image)
+        } else {
+            encode_snapshot(image)
+        };
+        write_atomic(&self.dir.join(file_name(seq, as_delta)), &bytes)?;
+        self.next_seq = seq + 1;
+        self.since_snapshot = if as_delta { self.since_snapshot + 1 } else { 0 };
+        self.base = Some(image.clone());
+        Ok((seq, as_delta))
+    }
+
+    /// Load the most recent restorable image from `dir`: the latest
+    /// snapshot plus every delta after it, in order. Returns the image's
+    /// checkpoint sequence number alongside it.
+    pub fn load_latest(dir: impl AsRef<Path>) -> Result<(u64, RunImage<P>), DurableError> {
+        Self::load_latest_in(dir.as_ref())
+    }
+
+    fn load_latest_in(dir: &Path) -> Result<(u64, RunImage<P>), DurableError> {
+        let found = match scan(dir) {
+            Ok(found) => found,
+            Err(DurableError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let snap_seq = found
+            .iter()
+            .rev()
+            .find(|(_, delta)| !delta)
+            .map(|(seq, _)| *seq)
+            .ok_or(DurableError::NoCheckpoint)?;
+        let mut image = Self::read_file(dir, snap_seq, false)?;
+        let mut at = snap_seq;
+        for &(seq, delta) in found.iter().filter(|(seq, _)| *seq > snap_seq) {
+            if !delta {
+                unreachable!("snap_seq is the latest snapshot");
+            }
+            if seq != at + 1 {
+                return Err(DurableError::Corrupt("gap in checkpoint chain"));
+            }
+            let bytes = std::fs::read(dir.join(file_name(seq, true)))?;
+            let (kind, payload) = open_envelope(&bytes)?;
+            if kind != FileKind::Delta {
+                return Err(DurableError::Corrupt("delta file with wrong kind tag"));
+            }
+            let (base_seq, next) = apply_delta(&image, payload)?;
+            if base_seq != at {
+                return Err(DurableError::Corrupt("delta base sequence mismatch"));
+            }
+            image = next;
+            at = seq;
+        }
+        Ok((at, image))
+    }
+
+    fn read_file(dir: &Path, seq: u64, delta: bool) -> Result<RunImage<P>, DurableError> {
+        let bytes = std::fs::read(dir.join(file_name(seq, delta)))?;
+        let (kind, payload) = open_envelope(&bytes)?;
+        if kind != FileKind::Snapshot {
+            return Err(DurableError::Corrupt("snapshot file with wrong kind tag"));
+        }
+        let mut cur = Cursor::new(payload);
+        let image = get_run_image(&mut cur)?;
+        if !cur.is_empty() {
+            return Err(DurableError::Corrupt("trailing bytes after snapshot"));
+        }
+        Ok(image)
+    }
+}
+
+/// A [`CheckpointSink`] that persists through a [`CheckpointStore`]:
+/// captures on every finite advance of the output stable point, optionally
+/// halting at a chosen sequence number (the recovery tests' reproducible
+/// kill switch). I/O errors are recorded, not panicked — the run continues
+/// uncheckpointed and the caller inspects [`error`](Self::error).
+pub struct DurableCheckpointSink<P: DurablePayload> {
+    store: CheckpointStore<P>,
+    last_stable: Time,
+    halt_at: Option<u64>,
+    cursors: Vec<(u64, i64)>,
+    cursor_source: Option<CursorSource>,
+    /// First persistence error, if any.
+    pub error: Option<DurableError>,
+}
+
+/// Supplier of live transport resume cursors `(consumed frames, acked
+/// stable)` per input, polled at every save.
+pub type CursorSource = Box<dyn Fn() -> Vec<(u64, i64)> + Send>;
+
+impl<P: DurablePayload> DurableCheckpointSink<P> {
+    /// Wrap a store. `last_stable` starts at the store's restored base
+    /// image (if any), so a resumed run does not re-checkpoint the cut it
+    /// restored from.
+    pub fn new(store: CheckpointStore<P>) -> DurableCheckpointSink<P> {
+        let last_stable = store
+            .base
+            .as_ref()
+            .map(|b| b.merge.max_stable)
+            .unwrap_or(Time::MIN);
+        DurableCheckpointSink {
+            store,
+            last_stable,
+            halt_at: None,
+            cursors: Vec::new(),
+            cursor_source: None,
+            error: None,
+        }
+    }
+
+    /// Halt the run right after checkpoint `seq` is saved.
+    #[must_use]
+    pub fn halt_after(mut self, seq: u64) -> DurableCheckpointSink<P> {
+        self.halt_at = Some(seq);
+        self
+    }
+
+    /// Attach transport resume cursors to every saved image (networked
+    /// runs refresh these from the ingest sessions before each save).
+    pub fn set_cursors(&mut self, cursors: Vec<(u64, i64)>) {
+        self.cursors = cursors;
+    }
+
+    /// Poll `source` for fresh transport cursors at every save — the live
+    /// networked path, where the consumed-frame counts advance between
+    /// cuts (an ingest server's `cursor_handle()` is the natural source).
+    #[must_use]
+    pub fn with_cursor_source(mut self, source: CursorSource) -> DurableCheckpointSink<P> {
+        self.cursor_source = Some(source);
+        self
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &CheckpointStore<P> {
+        &self.store
+    }
+}
+
+impl<P: DurablePayload> CheckpointSink<P> for DurableCheckpointSink<P> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn want(&mut self, stable: Time, _delivered: u64) -> bool {
+        if stable > self.last_stable && stable != Time::INFINITY {
+            self.last_stable = stable;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn save(&mut self, mut image: RunImage<P>) -> CheckpointSave {
+        if let Some(source) = &self.cursor_source {
+            self.cursors = source();
+        }
+        if image.cursors.is_empty() && !self.cursors.is_empty() {
+            image.cursors = self.cursors.clone();
+        }
+        match self.store.save(&image) {
+            Ok((seq, delta)) => CheckpointSave {
+                seq,
+                delta,
+                halt: self.halt_at == Some(seq),
+            },
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+                CheckpointSave::default()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmerge_core::VariantKind;
+    use lmerge_engine::ExecutorImage;
+    use lmerge_temporal::VTime;
+
+    fn entry(k: i32, vs: i64, ve: i64) -> StateEntry<i32> {
+        StateEntry {
+            vs: Time(vs),
+            payload: k,
+            per_input: vec![(0, vec![(Time(ve), 1)])],
+            output: vec![(Time(ve), 1)],
+        }
+    }
+
+    fn run_image(entries: Vec<StateEntry<i32>>, stable: i64, delivered: u64) -> RunImage<i32> {
+        let mut merge = MergeStateImage::empty(VariantKind::R3);
+        merge.max_stable = Time(stable);
+        merge.entries = entries;
+        RunImage {
+            merge,
+            exec: ExecutorImage {
+                lmerge_ready: VTime(delivered * 10),
+                delivered,
+                seq: delivered,
+                last_feedback: Time::MIN,
+                input_stable_hw: vec![Time(stable)],
+                output_stable_hw: Time(stable),
+                pulls: vec![delivered],
+                staged: vec![None],
+            },
+            cursors: vec![(delivered, stable)],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lmerge-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn diff_and_apply_are_inverse() {
+        let old = vec![entry(1, 10, 20), entry(2, 11, 21), entry(3, 12, 22)];
+        let mut changed = entry(2, 11, 21);
+        changed.output = vec![(Time(25), 2)];
+        let new = vec![entry(1, 10, 20), changed, entry(4, 13, 23)];
+        let diff = diff_index(&old, &new);
+        assert_eq!(diff.removed, vec![(Time(12), 3)]);
+        assert_eq!(diff.upserts.len(), 2);
+        assert_eq!(apply_diff(&old, &diff), new);
+    }
+
+    #[test]
+    fn snapshot_then_deltas_then_snapshot_restores_exactly() {
+        let images = [
+            run_image(vec![entry(1, 10, 20)], 5, 1),
+            run_image(vec![entry(1, 10, 20), entry(2, 11, 21)], 8, 2),
+            run_image(vec![entry(2, 11, 21), entry(3, 12, 22)], 11, 3),
+            run_image(vec![entry(3, 12, 22)], 14, 4),
+        ];
+        // Every prefix of the chain restores exactly.
+        for upto in 0..images.len() {
+            let dir = tmp_dir(&format!("chain{upto}"));
+            let mut store: CheckpointStore<i32> = CheckpointStore::create(&dir)
+                .unwrap()
+                .with_snapshot_every(2);
+            let mut kinds = Vec::new();
+            for img in &images[..=upto] {
+                let (_, delta) = store.save(img).unwrap();
+                kinds.push(delta);
+            }
+            if upto == images.len() - 1 {
+                // Snapshot, two deltas, then the snapshot_every=2 bound
+                // forces a fresh snapshot.
+                assert_eq!(kinds, vec![false, true, true, false]);
+            }
+            let (seq, image) = CheckpointStore::<i32>::load_latest(&dir).unwrap();
+            assert_eq!(seq as usize, upto);
+            assert_eq!(image.merge, images[upto].merge);
+            assert_eq!(image.exec, images[upto].exec);
+            assert_eq!(image.cursors, images[upto].cursors);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn reopened_store_continues_numbering() {
+        let dir = tmp_dir("reopen");
+        let mut store: CheckpointStore<i32> = CheckpointStore::create(&dir).unwrap();
+        store
+            .save(&run_image(vec![entry(1, 10, 20)], 5, 1))
+            .unwrap();
+        drop(store);
+        let mut store: CheckpointStore<i32> = CheckpointStore::create(&dir).unwrap();
+        assert_eq!(store.next_seq(), 1);
+        let (seq, delta) = store
+            .save(&run_image(vec![entry(1, 10, 20), entry(2, 11, 21)], 8, 2))
+            .unwrap();
+        // The reopened store restored its base, so it can delta.
+        assert_eq!((seq, delta), (1, true));
+        let (seq, image) = CheckpointStore::<i32>::load_latest(&dir).unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(image.merge.entries.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_reports_no_checkpoint() {
+        let dir = tmp_dir("empty");
+        assert!(matches!(
+            CheckpointStore::<i32>::load_latest(&dir),
+            Err(DurableError::NoCheckpoint)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            CheckpointStore::<i32>::load_latest(&dir),
+            Err(DurableError::NoCheckpoint)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_a_typed_error() {
+        let dir = tmp_dir("corrupt");
+        let mut store: CheckpointStore<i32> = CheckpointStore::create(&dir).unwrap();
+        store
+            .save(&run_image(vec![entry(1, 10, 20)], 5, 1))
+            .unwrap();
+        let path = dir.join(file_name(0, false));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            CheckpointStore::<i32>::load_latest(&dir),
+            Err(DurableError::Checksum { .. })
+        ));
+        // Truncation too.
+        let whole = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &whole[..whole.len() - 3]).unwrap();
+        assert!(CheckpointStore::<i32>::load_latest(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

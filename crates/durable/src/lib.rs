@@ -1,0 +1,40 @@
+//! Durable merge state: checkpoint/restore and log-structured spill.
+//!
+//! The paper's LMerge operator makes physically independent replicas
+//! interchangeable *while the process lives*; this crate extends the
+//! guarantee across process death. It persists the canonical state images
+//! exported by `lmerge-core` ([`lmerge_core::MergeStateImage`]) together
+//! with the executor's scheduling cut ([`lmerge_engine::ExecutorImage`])
+//! as versioned, checksummed files, and spills half-frozen state demoted
+//! by robustness bounds as sorted on-disk runs instead of dropping it.
+//!
+//! Three layers:
+//!
+//! * [`codec`] — the file envelope (magic, version, kind, FNV-1a
+//!   checksum) and a bounds-checked cursor; corruption always surfaces as
+//!   a typed [`DurableError`], never a panic.
+//! * [`checkpoint`] — [`CheckpointStore`]: a chain of full snapshots and
+//!   index-diff deltas; [`DurableCheckpointSink`] plugs the store into the
+//!   executor's [`lmerge_engine::CheckpointSink`] boundary.
+//! * [`spill`] — [`SpillStore`]: append-only sorted runs, k-way merged on
+//!   read through a [`std::collections::BinaryHeap`];
+//!   [`FileSpillHandler`] plugs it into `lmerge-core`'s
+//!   [`lmerge_core::SpillHandler`] demotion hook.
+//!
+//! Recovery composes the pieces: [`CheckpointStore::load_latest`] yields a
+//! [`lmerge_engine::RunImage`]; `LogicalMerge::restore_state` rebuilds the
+//! operator; `MergeRun::resumed` rebuilds the schedule; and for networked
+//! inputs the image's transport cursors seed the ingest server's resume
+//! handshake so each session replays exactly from its acked prefix.
+
+pub mod checkpoint;
+pub mod codec;
+pub mod image;
+pub mod payload;
+pub mod spill;
+
+pub use checkpoint::{CheckpointStore, DurableCheckpointSink, DEFAULT_SNAPSHOT_EVERY};
+pub use codec::{envelope, open_envelope, Cursor, DurableError, FileKind, MAGIC, VERSION};
+pub use image::{get_merge_image, get_run_image, put_merge_image, put_run_image};
+pub use payload::DurablePayload;
+pub use spill::{FileSpillHandler, MergedSpill, SpillStore};

@@ -1,0 +1,128 @@
+//! Byte encodings for payload types that can be made durable.
+//!
+//! [`DurablePayload`] extends the core [`Payload`] bound with a canonical
+//! little-endian byte encoding. Because every image is stored in canonical
+//! `(Vs, payload)` order before encoding, two logically equal states
+//! always produce byte-identical files — the property the recovery
+//! conformance tests lean on.
+
+use crate::codec::{put_count, Cursor, DurableError};
+use bytes::Bytes;
+use lmerge_temporal::{Payload, Value};
+
+/// A payload with a stable, canonical byte encoding.
+pub trait DurablePayload: Payload {
+    /// Append the canonical encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decode one payload, consuming exactly the bytes `encode` wrote.
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, DurableError>;
+}
+
+impl DurablePayload for Value {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.key.to_le_bytes());
+        put_count(buf, self.body.len());
+        buf.extend_from_slice(&self.body);
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<Value, DurableError> {
+        let key = cur.i32()?;
+        let len = cur.count(1)?;
+        let body = Bytes::copy_from_slice(cur.take(len)?);
+        Ok(Value { key, body })
+    }
+}
+
+impl DurablePayload for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_count(buf, self.len());
+        buf.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<String, DurableError> {
+        let len = cur.count(1)?;
+        let raw = cur.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| DurableError::Corrupt("non-UTF-8 string"))
+    }
+}
+
+impl DurablePayload for i32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<i32, DurableError> {
+        cur.i32()
+    }
+}
+
+impl DurablePayload for i64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<i64, DurableError> {
+        cur.i64()
+    }
+}
+
+impl DurablePayload for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<u32, DurableError> {
+        cur.u32()
+    }
+}
+
+impl DurablePayload for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<u64, DurableError> {
+        cur.u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<P: DurablePayload>(p: P) {
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(P::decode(&mut cur).unwrap(), p);
+        assert!(
+            cur.is_empty(),
+            "decode must consume exactly what encode wrote"
+        );
+    }
+
+    #[test]
+    fn payloads_round_trip() {
+        round_trip(Value {
+            key: -7,
+            body: Bytes::copy_from_slice(b"body bytes"),
+        });
+        round_trip(Value {
+            key: 0,
+            body: Bytes::new(),
+        });
+        round_trip(String::from("ανδρος"));
+        round_trip(-42i32);
+        round_trip(i64::MIN);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+    }
+
+    #[test]
+    fn bad_utf8_is_a_typed_error() {
+        let mut buf = Vec::new();
+        put_count(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut cur = Cursor::new(&buf);
+        assert!(matches!(
+            String::decode(&mut cur),
+            Err(DurableError::Corrupt(_))
+        ));
+    }
+}

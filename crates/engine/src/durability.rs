@@ -1,0 +1,162 @@
+//! Checkpoint capture and resume: the executor side of the durability
+//! contract.
+//!
+//! A checkpoint is a consistent cut through the whole run — the merge
+//! operator's logical state ([`MergeStateImage`]) *plus* the executor's
+//! scheduling state ([`ExecutorImage`]). Either half alone is useless: the
+//! merge image without the delivery cursor replays duplicates; the cursor
+//! without the merge state replays against an empty index. [`RunImage`]
+//! bundles both (and optional transport resume cursors for networked
+//! inputs) so the durable store persists one atomic unit.
+//!
+//! The executor offers the cut to a [`CheckpointSink`] at the end of each
+//! delivery iteration. The sink decides *when* to capture (`want`), *how*
+//! to persist (`save` — a full snapshot or a delta is the store's
+//! business), and *whether the run survives* (`save` may halt the run,
+//! which is how the crash-recovery tests model a kill at an exact,
+//! reproducible point). Like tracing and hooks, the default
+//! [`NoCheckpoint`] is statically disabled and monomorphizes away.
+//!
+//! Resume is replay-based: [`ExecutorImage`] records how many batches each
+//! query had produced (`pulls`) and which batch sat staged in the delivery
+//! heap (`staged`), not the batches themselves. Queries are deterministic
+//! functions of their sources, so `MergeRun::resumed` rebuilds the exact
+//! pre-kill heap by re-pulling and discarding — the restored run's trace is
+//! byte-identical to the tail of a run that never died.
+
+use lmerge_core::MergeStateImage;
+use lmerge_temporal::{Payload, Time, VTime};
+use std::sync::{Arc, Mutex};
+
+/// The executor's scheduling state at a checkpoint: everything `run` needs
+/// to continue mid-stream, minus the batches themselves (replayed from the
+/// queries' deterministic sources).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecutorImage {
+    /// Virtual time at which the merge's core frees up.
+    pub lmerge_ready: VTime,
+    /// Batches delivered so far (drives memory-sample cadence).
+    pub delivered: u64,
+    /// Next heap sequence number (keeps tie-breaking identical on resume).
+    pub seq: u64,
+    /// Last feedback point propagated to the queries.
+    pub last_feedback: Time,
+    /// Per-input stable-point high-water marks (trace dedup state).
+    pub input_stable_hw: Vec<Time>,
+    /// Output stable-point high-water mark (trace dedup state).
+    pub output_stable_hw: Time,
+    /// Per-query count of successful `next_batch` pulls so far.
+    pub pulls: Vec<u64>,
+    /// Per-query staged batch: its heap key `(deliver_at, seq)`, or `None`
+    /// if the query was drained.
+    pub staged: Vec<Option<(VTime, u64)>>,
+}
+
+/// One consistent, restorable cut through a run.
+#[derive(Clone, Debug)]
+pub struct RunImage<P: Payload> {
+    /// The merge operator's exported logical state.
+    pub merge: MergeStateImage<P>,
+    /// The executor's scheduling state.
+    pub exec: ExecutorImage,
+    /// Per-input transport resume cursors — for networked inputs, the
+    /// ingest session's `(next_seq, acked_stable)` pair so a restarted
+    /// server can replay each session from the acked point. Empty for
+    /// in-process runs; the executor carries it through untouched.
+    pub cursors: Vec<(u64, i64)>,
+}
+
+/// What a [`CheckpointSink::save`] did with the offered image.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointSave {
+    /// Checkpoint sequence number assigned by the sink (monotone per run;
+    /// a resumed run's sink continues the killed run's numbering).
+    pub seq: u64,
+    /// Whether the image was persisted as a delta against the previous
+    /// checkpoint rather than a full snapshot.
+    pub delta: bool,
+    /// Stop the run right here, without the completion postlude. This is
+    /// how the recovery tests model a crash at a reproducible point: the
+    /// trace simply ends, exactly as a killed process's would.
+    pub halt: bool,
+}
+
+/// The executor's checkpointing boundary.
+///
+/// All methods have defaults adding up to "never checkpoint", so only
+/// `enabled`, `want`, and `save` need overriding. `want` must be a pure
+/// function of its arguments (plus the sink's own deterministic state):
+/// the recovery conformance tests rely on the reference run and the
+/// killed-and-resumed run offering identical cuts.
+pub trait CheckpointSink<P: Payload> {
+    /// Whether the executor should consult this sink at all.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Should a checkpoint be captured now? Called at the end of a
+    /// delivery iteration with the merge's current stable point and the
+    /// total batches delivered.
+    fn want(&mut self, stable: Time, delivered: u64) -> bool {
+        let _ = (stable, delivered);
+        false
+    }
+
+    /// Persist one image; returns what was done (and whether to halt).
+    fn save(&mut self, image: RunImage<P>) -> CheckpointSave {
+        let _ = image;
+        CheckpointSave::default()
+    }
+}
+
+/// The statically disabled sink: the executor's default.
+pub struct NoCheckpoint;
+
+impl<P: Payload> CheckpointSink<P> for NoCheckpoint {}
+
+/// A shared mailbox carrying spill notifications from a
+/// [`lmerge_core::SpillHandler`] (which runs deep inside `push_batch`,
+/// with no notion of virtual time) out to the executor, which drains it
+/// after each delivery and stamps the events with the merge's virtual
+/// completion time. Cloning shares the mailbox.
+#[derive(Clone, Debug, Default)]
+pub struct SpillNotices(Arc<Mutex<Vec<(u32, u64)>>>);
+
+impl SpillNotices {
+    /// An empty mailbox.
+    pub fn new() -> SpillNotices {
+        SpillNotices::default()
+    }
+
+    /// Record that `entries` entries of `input`'s state were spilled.
+    pub fn notify(&self, input: u32, entries: u64) {
+        self.0.lock().unwrap().push((input, entries));
+    }
+
+    /// Take all pending notifications, oldest first.
+    pub fn drain(&self) -> Vec<(u32, u64)> {
+        std::mem::take(&mut self.0.lock().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_checkpoint_is_disabled_and_inert() {
+        let mut c = NoCheckpoint;
+        assert!(!CheckpointSink::<&'static str>::enabled(&c));
+        assert!(!CheckpointSink::<&'static str>::want(&mut c, Time(5), 3));
+    }
+
+    #[test]
+    fn spill_notices_drain_in_order() {
+        let n = SpillNotices::new();
+        let n2 = n.clone();
+        n.notify(1, 10);
+        n2.notify(0, 4);
+        assert_eq!(n.drain(), vec![(1, 10), (0, 4)]);
+        assert!(n2.drain().is_empty());
+    }
+}

@@ -17,6 +17,7 @@
 //! `enabled()` is statically `false` — monomorphizes the whole
 //! instrumentation path away.
 
+use crate::durability::{CheckpointSink, ExecutorImage, NoCheckpoint, RunImage, SpillNotices};
 use crate::hooks::{ControlAction, FaultAction, NoHooks, RunHooks};
 use crate::metrics::{RunMetrics, Series};
 use crate::query::Query;
@@ -143,6 +144,12 @@ pub struct MergeRun<P: Payload> {
     queries: Vec<Query<P>>,
     lmerge: Box<dyn LogicalMerge<P>>,
     config: RunConfig,
+    /// When present, the run continues a killed run from this cut instead
+    /// of starting fresh (see [`MergeRun::resumed`]).
+    resume: Option<ExecutorImage>,
+    /// When present, spills reported by the merge's handler are drained
+    /// after each delivery and traced at the merge's virtual time.
+    spill_notices: Option<SpillNotices>,
 }
 
 impl<P: Payload> MergeRun<P> {
@@ -157,7 +164,44 @@ impl<P: Payload> MergeRun<P> {
             queries,
             lmerge,
             config,
+            resume: None,
+            spill_notices: None,
         }
+    }
+
+    /// Continue a killed run from a checkpoint's executor cut.
+    ///
+    /// `queries` must be built from the *same* source definitions as the
+    /// killed run's (queries are deterministic, so the executor replays
+    /// and discards the batches the checkpoint already covered), and
+    /// `lmerge` must already carry the checkpoint's restored merge state
+    /// (`restore_state`). Structural faults in flight at the checkpoint
+    /// (dead or stalled inputs, mid-run attachments) are not resumable.
+    pub fn resumed(
+        queries: Vec<Query<P>>,
+        lmerge: Box<dyn LogicalMerge<P>>,
+        config: RunConfig,
+        exec: ExecutorImage,
+    ) -> MergeRun<P> {
+        assert_eq!(
+            queries.len(),
+            exec.pulls.len(),
+            "resume requires the killed run's query topology"
+        );
+        MergeRun {
+            queries,
+            lmerge,
+            config,
+            resume: Some(exec),
+            spill_notices: None,
+        }
+    }
+
+    /// Trace spills reported through `notices` (see [`SpillNotices`]).
+    #[must_use]
+    pub fn with_spill_notices(mut self, notices: SpillNotices) -> MergeRun<P> {
+        self.spill_notices = Some(notices);
+        self
     }
 
     /// Execute to completion, returning the metrics. Untraced: equivalent
@@ -182,9 +226,31 @@ impl<P: Payload> MergeRun<P> {
     /// attach, stall — at each virtual-time boundary. With the default
     /// [`NoHooks`] this is exactly [`run_with`](Self::run_with).
     pub fn run_with_hooks<S: TraceSink, H: RunHooks<P>>(
+        self,
+        trace: &mut S,
+        hooks: &mut H,
+    ) -> RunMetrics {
+        self.run_checkpointed(trace, hooks, &mut NoCheckpoint)
+    }
+
+    /// Execute to completion, offering checkpoint cuts to `sink` at the
+    /// end of each delivery iteration (see [`CheckpointSink`]). A halting
+    /// `save` ends the run without the completion postlude — the trace
+    /// stops exactly where a killed process's would.
+    pub fn run_with_checkpoints<S: TraceSink, C: CheckpointSink<P>>(
+        self,
+        trace: &mut S,
+        sink: &mut C,
+    ) -> RunMetrics {
+        self.run_checkpointed(trace, &mut NoHooks, sink)
+    }
+
+    /// The full run loop: tracing, fault hooks, and checkpointing.
+    pub fn run_checkpointed<S: TraceSink, H: RunHooks<P>, C: CheckpointSink<P>>(
         mut self,
         trace: &mut S,
         hooks: &mut H,
+        sink: &mut C,
     ) -> RunMetrics {
         let n = self.queries.len();
         let mut metrics = RunMetrics {
@@ -196,25 +262,67 @@ impl<P: Payload> MergeRun<P> {
         let mut heap: BinaryHeap<Reverse<(VTime, u64, usize)>> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut pending: Vec<Option<crate::query::Batch<P>>> = Vec::with_capacity(n);
-        for qi in 0..n {
-            match self.queries[qi].next_batch() {
-                Some(b) => {
-                    heap.push(Reverse((b.deliver_at, seq, qi)));
-                    seq += 1;
-                    pending.push(Some(b));
-                }
-                None => pending.push(None),
-            }
-        }
-
+        // Per-query pull counts and last-pushed heap sequence: together
+        // with each staged batch's deliver_at they form the replayable
+        // executor cut a checkpoint captures.
+        let mut pulls = vec![0u64; n];
+        let mut staged_seq = vec![0u64; n];
         let mut lmerge_ready = VTime::ZERO;
         let mut delivered = 0usize;
-        let mut out = Vec::new();
         let mut last_feedback = Time::MIN;
         // High-water marks so stable-point trace events fire only on a
         // genuine advance (used only when tracing is enabled).
         let mut input_stable_hw = vec![Time::MIN; n];
         let mut output_stable_hw = Time::MIN;
+
+        match self.resume.take() {
+            None => {
+                for qi in 0..n {
+                    match self.queries[qi].next_batch() {
+                        Some(b) => {
+                            pulls[qi] += 1;
+                            heap.push(Reverse((b.deliver_at, seq, qi)));
+                            staged_seq[qi] = seq;
+                            seq += 1;
+                            pending.push(Some(b));
+                        }
+                        None => pending.push(None),
+                    }
+                }
+            }
+            Some(img) => {
+                // Replay each query up to its recorded pull count; the
+                // last pull is the batch that sat staged at the cut, and
+                // it re-enters the heap under its original key so ties
+                // break exactly as they would have.
+                for qi in 0..n {
+                    let mut last = None;
+                    for _ in 0..img.pulls[qi] {
+                        last = self.queries[qi].next_batch();
+                    }
+                    pulls[qi] = img.pulls[qi];
+                    match img.staged[qi] {
+                        Some((at, s)) => {
+                            let mut b =
+                                last.expect("resume: checkpointed staged batch must replay");
+                            b.deliver_at = at;
+                            heap.push(Reverse((at, s, qi)));
+                            staged_seq[qi] = s;
+                            pending.push(Some(b));
+                        }
+                        None => pending.push(None),
+                    }
+                }
+                seq = img.seq;
+                lmerge_ready = img.lmerge_ready;
+                delivered = img.delivered as usize;
+                last_feedback = img.last_feedback;
+                input_stable_hw = img.input_stable_hw;
+                output_stable_hw = img.output_stable_hw;
+            }
+        }
+
+        let mut out = Vec::new();
         // Per-input fault state: a dead input's queued and future batches
         // are lost; a stalled input's staged batch is re-timed lazily.
         let mut dead = vec![false; n];
@@ -263,9 +371,13 @@ impl<P: Payload> MergeRun<P> {
                             stalled_until.push(VTime::ZERO);
                             health.push(self.lmerge.input_health(id));
                             input_stable_hw.push(Time::MIN);
+                            pulls.push(0);
+                            staged_seq.push(0);
                             metrics.input_series.push(Series::default());
                             if let Some(b) = self.queries[nqi].next_batch() {
+                                pulls[nqi] += 1;
                                 heap.push(Reverse((b.deliver_at, seq, nqi)));
+                                staged_seq[nqi] = seq;
                                 seq += 1;
                                 pending[nqi] = Some(b);
                             }
@@ -293,6 +405,21 @@ impl<P: Payload> MergeRun<P> {
                                 }
                             }
                         }
+                        ControlAction::CrashMerge { rebuild } => {
+                            // Export, kill, rebuild: the queries and the
+                            // delivery heap model the world outside the
+                            // crashed operator and survive untouched.
+                            if let Some(img) = self.lmerge.export_state() {
+                                self.lmerge = rebuild(img);
+                                if trace.enabled() {
+                                    trace.record(TraceEvent::FaultInjected {
+                                        at: deliver_at,
+                                        input: u32::MAX,
+                                        kind: FaultKind::CrashMerge,
+                                    });
+                                }
+                            }
+                        }
                     }
                 }
                 if trace.enabled() {
@@ -308,6 +435,7 @@ impl<P: Payload> MergeRun<P> {
             if deliver_at < stalled_until[qi] {
                 batch.deliver_at = stalled_until[qi];
                 heap.push(Reverse((batch.deliver_at, seq, qi)));
+                staged_seq[qi] = seq;
                 seq += 1;
                 pending[qi] = Some(batch);
                 continue;
@@ -350,6 +478,7 @@ impl<P: Payload> MergeRun<P> {
                             }
                             batch.deliver_at = until;
                             heap.push(Reverse((until, seq, qi)));
+                            staged_seq[qi] = seq;
                             seq += 1;
                             pending[qi] = Some(batch);
                             continue;
@@ -362,7 +491,9 @@ impl<P: Payload> MergeRun<P> {
                 // Skip consumption entirely; the query still produces its
                 // next batch below, so only this batch is lost.
                 if let Some(b) = self.queries[qi].next_batch() {
+                    pulls[qi] += 1;
                     heap.push(Reverse((b.deliver_at, seq, qi)));
+                    staged_seq[qi] = seq;
                     seq += 1;
                     pending[qi] = Some(b);
                 } else if trace.enabled() {
@@ -437,6 +568,21 @@ impl<P: Payload> MergeRun<P> {
                 }
             }
 
+            // Spills that happened inside this push surface now, stamped
+            // with the merge's virtual completion time. Drained even when
+            // untraced so the mailbox stays bounded.
+            if let Some(notices) = &self.spill_notices {
+                for (input, entries) in notices.drain() {
+                    if trace.enabled() {
+                        trace.record(TraceEvent::StateSpilled {
+                            at: lmerge_ready,
+                            input,
+                            entries,
+                        });
+                    }
+                }
+            }
+
             if hooks.enabled() {
                 hooks.on_consumed(qi as u32, lmerge_ready, &batch.elements, &out);
                 if trace.enabled() {
@@ -462,7 +608,9 @@ impl<P: Payload> MergeRun<P> {
             }
 
             delivered += 1;
-            if delivered.is_multiple_of(self.config.mem_sample_every) {
+            if self.config.mem_sample_every != 0
+                && delivered.is_multiple_of(self.config.mem_sample_every)
+            {
                 let mem = self.lmerge.memory_bytes()
                     + self.queries.iter().map(Query::memory_bytes).sum::<usize>();
                 metrics.peak_memory = metrics.peak_memory.max(mem);
@@ -483,7 +631,9 @@ impl<P: Payload> MergeRun<P> {
 
             // Stage this query's next batch.
             if let Some(b) = self.queries[qi].next_batch() {
+                pulls[qi] += 1;
                 heap.push(Reverse((b.deliver_at, seq, qi)));
+                staged_seq[qi] = seq;
                 seq += 1;
                 pending[qi] = Some(b);
             } else if trace.enabled() {
@@ -491,6 +641,49 @@ impl<P: Payload> MergeRun<P> {
                     at: lmerge_ready,
                     input: qi as u32,
                 });
+            }
+
+            // Offer a checkpoint cut now that the next batch is staged:
+            // everything above this line is covered by the image,
+            // everything below replays identically on resume.
+            if sink.enabled() && sink.want(self.lmerge.max_stable(), delivered as u64) {
+                if let Some(merge) = self.lmerge.export_state() {
+                    let entries = merge.total_entries() as u64;
+                    let image = RunImage {
+                        merge,
+                        exec: ExecutorImage {
+                            lmerge_ready,
+                            delivered: delivered as u64,
+                            seq,
+                            last_feedback,
+                            input_stable_hw: input_stable_hw.clone(),
+                            output_stable_hw,
+                            pulls: pulls.clone(),
+                            staged: pending
+                                .iter()
+                                .enumerate()
+                                .map(|(i, p)| p.as_ref().map(|b| (b.deliver_at, staged_seq[i])))
+                                .collect(),
+                        },
+                        cursors: Vec::new(),
+                    };
+                    let saved = sink.save(image);
+                    if trace.enabled() {
+                        trace.record(TraceEvent::CheckpointTaken {
+                            at: lmerge_ready,
+                            seq: saved.seq,
+                            entries,
+                            delta: saved.delta,
+                        });
+                    }
+                    if saved.halt {
+                        // A modeled kill: no postlude, the trace just
+                        // stops. Merge stats still reflect the state the
+                        // checkpoint captured.
+                        metrics.merge = self.lmerge.stats();
+                        return metrics;
+                    }
+                }
             }
         }
 
@@ -508,10 +701,16 @@ impl<P: Payload> MergeRun<P> {
         metrics.memory_samples.push((lmerge_ready, mem));
         metrics.merge = self.lmerge.stats();
         if trace.enabled() {
-            trace.record(TraceEvent::MemorySampled {
-                at: lmerge_ready,
-                bytes: mem as u64,
-            });
+            // `mem_sample_every: 0` disables memory tracing entirely: the
+            // recovery tests rely on it, because capacity-based accounting
+            // (hash maps, scratch buffers) is not part of the restorable
+            // state and may differ across a restore.
+            if self.config.mem_sample_every != 0 {
+                trace.record(TraceEvent::MemorySampled {
+                    at: lmerge_ready,
+                    bytes: mem as u64,
+                });
+            }
             trace.record(TraceEvent::RunCompleted {
                 at: metrics.completion(),
             });
@@ -879,6 +1078,110 @@ mod tests {
         );
         assert!(m.output_complete_at.is_some());
         assert_eq!(m.merge.inserts_out, 3, "faults on a replica lose nothing");
+    }
+
+    #[test]
+    fn kill_and_resume_is_byte_identical() {
+        use crate::durability::{CheckpointSave, CheckpointSink, RunImage};
+        use lmerge_obs::export::to_jsonl;
+        use lmerge_obs::Tracer;
+
+        // Checkpoint on every output stable advance; optionally halt at a
+        // given checkpoint seq to model the kill.
+        struct MemSink {
+            last_stable: Time,
+            next_seq: u64,
+            halt_at: Option<u64>,
+            images: Vec<RunImage<&'static str>>,
+        }
+        impl MemSink {
+            fn new(halt_at: Option<u64>) -> MemSink {
+                MemSink {
+                    last_stable: Time::MIN,
+                    next_seq: 0,
+                    halt_at,
+                    images: Vec::new(),
+                }
+            }
+        }
+        impl CheckpointSink<&'static str> for MemSink {
+            fn enabled(&self) -> bool {
+                true
+            }
+            fn want(&mut self, stable: Time, _delivered: u64) -> bool {
+                if stable > self.last_stable && stable != Time::INFINITY {
+                    self.last_stable = stable;
+                    true
+                } else {
+                    false
+                }
+            }
+            fn save(&mut self, image: RunImage<&'static str>) -> CheckpointSave {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.images.push(image);
+                CheckpointSave {
+                    seq,
+                    delta: false,
+                    halt: self.halt_at == Some(seq),
+                }
+            }
+        }
+
+        let feed = |lag: u64| {
+            timed(&[
+                (lag, E::insert("a", 1, 5)),
+                (10 + lag, E::stable(2)),
+                (20 + lag, E::insert("b", 3, 7)),
+                (30 + lag, E::stable(4)),
+                (40 + lag, E::insert("c", 5, 9)),
+                (50 + lag, E::stable(6)),
+                (60 + lag, E::stable(Time::INFINITY)),
+            ])
+        };
+        let queries = || vec![Query::passthrough(feed(0)), Query::passthrough(feed(7))];
+        // Memory sampling off: capacity-based accounting is not part of
+        // the restorable state.
+        let config = RunConfig {
+            mem_sample_every: 0,
+            ..RunConfig::default()
+        };
+
+        // Reference: checkpoints at every stable advance, never killed.
+        let mut ref_trace = Tracer::new();
+        let mut ref_sink = MemSink::new(None);
+        let ref_metrics = MergeRun::new(queries(), lmr3(2), config)
+            .run_with_checkpoints(&mut ref_trace, &mut ref_sink);
+        assert!(ref_sink.next_seq >= 2, "multiple checkpoints taken");
+
+        // Killed at checkpoint 1, then resumed from its image.
+        let mut kill_trace = Tracer::new();
+        let mut kill_sink = MemSink::new(Some(1));
+        MergeRun::new(queries(), lmr3(2), config)
+            .run_with_checkpoints(&mut kill_trace, &mut kill_sink);
+        let image = kill_sink.images.last().unwrap().clone();
+
+        let mut restored = lmr3(2);
+        assert!(restored.restore_state(image.merge.clone()), "restorable");
+        let mut resume_trace = Tracer::new();
+        let mut resume_sink = MemSink::new(None);
+        resume_sink.last_stable = image.merge.max_stable;
+        resume_sink.next_seq = 2;
+        let resumed_metrics = MergeRun::resumed(queries(), restored, config, image.exec)
+            .run_with_checkpoints(&mut resume_trace, &mut resume_sink);
+
+        // The killed prefix plus the resumed tail is the unkilled trace.
+        let concat = format!(
+            "{}{}",
+            to_jsonl(kill_trace.events()),
+            to_jsonl(resume_trace.events())
+        );
+        assert_eq!(to_jsonl(ref_trace.events()), concat);
+        assert_eq!(ref_metrics.merge, resumed_metrics.merge, "stats restore");
+        assert_eq!(
+            ref_metrics.output_complete_at,
+            resumed_metrics.output_complete_at
+        );
     }
 
     #[test]

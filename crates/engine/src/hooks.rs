@@ -29,7 +29,6 @@ pub enum FaultAction<P> {
 }
 
 /// A structural change to the run, applied at a virtual-time boundary.
-#[derive(Debug)]
 pub enum ControlAction<P> {
     /// Forcibly detach an input: the merge drops its state and every
     /// batch still queued or yet to be produced by that query is lost.
@@ -49,6 +48,39 @@ pub enum ControlAction<P> {
         /// Deliveries resume at this virtual time.
         until: VTime,
     },
+    /// Kill the whole merge operator and rebuild it from its exported
+    /// durable state image — the in-process shape of a crash-and-restore.
+    /// The queries and the executor's delivery heap survive (they model
+    /// the world outside the crashed operator); only the merge's state
+    /// makes the round trip through the image.
+    CrashMerge {
+        /// Build the replacement operator from the crashed one's image.
+        /// The chaos harness routes this through the durable codec so the
+        /// image also survives an encode/decode round trip.
+        rebuild: Box<
+            dyn FnOnce(lmerge_core::MergeStateImage<P>) -> Box<dyn lmerge_core::LogicalMerge<P>>
+                + Send,
+        >,
+    },
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for ControlAction<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlAction::Detach(id) => f.debug_tuple("Detach").field(id).finish(),
+            ControlAction::Attach { join_time, source } => f
+                .debug_struct("Attach")
+                .field("join_time", join_time)
+                .field("source", source)
+                .finish(),
+            ControlAction::Stall { input, until } => f
+                .debug_struct("Stall")
+                .field("input", input)
+                .field("until", until)
+                .finish(),
+            ControlAction::CrashMerge { .. } => f.write_str("CrashMerge"),
+        }
+    }
 }
 
 /// Observer/mutator interface threaded through the executor's run loop.

@@ -22,6 +22,7 @@
 //!   feedback point back to the queries, whose operators fast-forward past
 //!   work that can no longer matter.
 
+pub mod durability;
 pub mod executor;
 pub mod hooks;
 pub mod metrics;
@@ -31,6 +32,9 @@ pub mod pipeline;
 pub mod query;
 pub mod spsc;
 
+pub use durability::{
+    CheckpointSave, CheckpointSink, ExecutorImage, NoCheckpoint, RunImage, SpillNotices,
+};
 pub use executor::{MergeRun, RunConfig};
 pub use hooks::{ControlAction, FaultAction, NoHooks, RunHooks};
 pub use metrics::{RunMetrics, Series};

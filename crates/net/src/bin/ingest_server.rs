@@ -12,16 +12,25 @@
 //! endpoint runs for the life of the process, exposing the live wall-clock
 //! series (per-session net counters, engine gauges, SLO alert state) —
 //! point `lmerge-top` or `curl` at it mid-run.
+//!
+//! `--checkpoint-to DIR` captures a durable checkpoint (merge + executor
+//! image + per-input transport cursors) at every finite advance of the
+//! output stable point. After a crash, `--restore-from DIR` rebuilds the
+//! merge from the newest checkpoint and pre-seeds the resume handshake so
+//! reconnecting replayers re-send only what the lost process had not
+//! durably consumed.
 
 use lmerge_core::{new_for_level, MergePolicy};
-use lmerge_engine::{MergeRun, Query, RunConfig};
+use lmerge_durable::{CheckpointStore, DurableCheckpointSink};
+use lmerge_engine::{MergeRun, NoCheckpoint, Query, RunConfig, RunImage};
 use lmerge_net::egress::NetHooks;
 use lmerge_net::server::{IngestConfig, IngestServer};
 use lmerge_obs::{
     default_rules, AlertEngine, EngineMetrics, MeteredSink, MetricsRegistry, MetricsServer,
-    ScrapeAlerts, TraceSink, Tracer,
+    ScrapeAlerts, TraceEvent, TraceSink, Tracer,
 };
 use lmerge_properties::RLevel;
+use lmerge_temporal::Value;
 use std::io::BufWriter;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
@@ -34,6 +43,8 @@ struct Args {
     credit: u32,
     out: Option<String>,
     metrics: Option<String>,
+    checkpoint_to: Option<String>,
+    restore_from: Option<String>,
 }
 
 fn parse_level(s: &str) -> Option<RLevel> {
@@ -56,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         credit: 32,
         out: None,
         metrics: None,
+        checkpoint_to: None,
+        restore_from: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -83,10 +96,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(value("--out")?),
             "--metrics" => args.metrics = Some(value("--metrics")?),
+            "--checkpoint-to" => args.checkpoint_to = Some(value("--checkpoint-to")?),
+            "--restore-from" => args.restore_from = Some(value("--restore-from")?),
             "--help" | "-h" => {
                 return Err("usage: lmerge-ingest [--addr HOST:PORT] [--inputs N] \
                      [--level r0..r4] [--ring SLOTS] [--credit N] [--out FILE] \
-                     [--metrics HOST:PORT]"
+                     [--metrics HOST:PORT] [--checkpoint-to DIR] [--restore-from DIR]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -124,6 +139,29 @@ fn main() -> ExitCode {
         args.level
     );
 
+    // Restore before any client can connect: the resume handshake's
+    // `Welcome` must already carry the checkpoint's consumed-frame
+    // cursors when the first rejoining replayer says `Hello`.
+    let restored: Option<(u64, RunImage<Value>)> = match &args.restore_from {
+        Some(dir) => match CheckpointStore::<Value>::load_latest(dir) {
+            Ok((seq, image)) => {
+                server.restore_cursors(&image.cursors);
+                println!(
+                    "restored checkpoint {} from {dir} ({} entries, {} input cursors)",
+                    seq,
+                    image.merge.total_entries(),
+                    image.cursors.len()
+                );
+                Some((seq, image))
+            }
+            Err(e) => {
+                eprintln!("restore from {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     // Alert transitions land in their own tracer: the run tracer is busy
     // on the merge thread, and alert noise must never perturb the run's
     // deterministic trace anyway.
@@ -155,7 +193,16 @@ fn main() -> ExitCode {
         .into_iter()
         .map(|src| Query::from_source(Box::new(src), Vec::new()))
         .collect();
-    let lmerge = new_for_level(args.level, args.inputs, MergePolicy::default());
+    let mut lmerge = new_for_level(args.level, args.inputs, MergePolicy::default());
+    let restored_cut = restored.map(|(seq, image)| {
+        let at = image.exec.lmerge_ready;
+        let entries = image.merge.total_entries() as u64;
+        if !lmerge.restore_state(image.merge) {
+            eprintln!("checkpoint kind does not match --level {:?}", args.level);
+            std::process::exit(1);
+        }
+        (seq, at, entries)
+    });
 
     let mut hooks = NetHooks::collector();
     if let Some(path) = &args.out {
@@ -171,8 +218,35 @@ fn main() -> ExitCode {
     // The run tracer stays deterministic; the metered wrapper folds every
     // event into the live registry on the side.
     let mut sink = MeteredSink::new(Tracer::new(), EngineMetrics::new(&registry));
+    if let Some((seq, at, entries)) = restored_cut {
+        sink.record(TraceEvent::CheckpointRestored { at, seq, entries });
+    }
+
+    // A restored run uses a fresh executor over the restored merge — NOT
+    // the replay-based `MergeRun::resumed`, whose re-pulls would consume
+    // live socket data. Continuity comes from the restored state plus the
+    // transport resume handshake skipping the consumed prefix.
     let run = MergeRun::new(queries, lmerge, RunConfig::default());
-    let metrics = run.run_with_hooks(&mut sink, &mut hooks);
+    let mut ck_sink: Option<DurableCheckpointSink<Value>> = match &args.checkpoint_to {
+        Some(dir) => match CheckpointStore::create(dir) {
+            Ok(store) => {
+                let cursors = server.cursor_handle();
+                Some(
+                    DurableCheckpointSink::new(store)
+                        .with_cursor_source(Box::new(move || cursors.cursors())),
+                )
+            }
+            Err(e) => {
+                eprintln!("checkpoint dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let metrics = match &mut ck_sink {
+        Some(ck) => run.run_checkpointed(&mut sink, &mut hooks, ck),
+        None => run.run_checkpointed(&mut sink, &mut hooks, &mut NoCheckpoint),
+    };
     sink.metrics()
         .set_ring_dropped(sink.inner().ring().dropped());
     let (out, _) = hooks.into_parts();
@@ -203,6 +277,17 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &args.out {
         println!("merged stream written to {path}");
+    }
+    if let Some(ck) = &ck_sink {
+        if let Some(e) = &ck.error {
+            eprintln!("checkpointing failed mid-run: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "{} checkpoint(s) in {}",
+            ck.store().next_seq(),
+            args.checkpoint_to.as_deref().unwrap_or("?")
+        );
     }
     server.shutdown();
     ExitCode::SUCCESS

@@ -312,6 +312,37 @@ impl IngestServer {
         self.shared.tracer.lock().unwrap()
     }
 
+    /// Per-input transport resume cursors for a checkpoint: `(frames the
+    /// merge side has consumed, last acked stable point)`. The *consumed*
+    /// count — not `next_seq` — is the exactly-once resume point: frames
+    /// pushed into the ring but never popped die with the process, so a
+    /// restarted server must have the client re-send them.
+    pub fn cursors(&self) -> Vec<(u64, i64)> {
+        self.cursor_handle().cursors()
+    }
+
+    /// A cloneable handle reading the live resume cursors — what a
+    /// checkpoint sink polls at each cut while the server itself stays
+    /// owned by the accept/teardown path.
+    pub fn cursor_handle(&self) -> CursorHandle {
+        CursorHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Pre-seed each input's resume cursor from a restored checkpoint.
+    /// Call before any client connects: a rejoining replayer is then
+    /// welcomed with `resume_seq` equal to the checkpoint's consumed
+    /// prefix and replays exactly what the restored merge has not seen
+    /// (PR 5's resume handshake, driven by recovered state instead of a
+    /// surviving process).
+    pub fn restore_cursors(&self, cursors: &[(u64, i64)]) {
+        for (slot, &(next_seq, acked)) in self.shared.inputs.iter().zip(cursors) {
+            slot.next_seq.store(next_seq, Ordering::Release);
+            slot.acked_stable.store(acked, Ordering::Release);
+        }
+    }
+
     /// Wait (up to `timeout`) for every accepted session to finish its
     /// close handshake; returns `true` once all have. The merge side
     /// completes at watermark = ∞ — which a paced client reaches while
@@ -498,6 +529,29 @@ fn session(shared: Arc<ServerShared>, mut stream: TcpStream) {
         live.clean_closes.inc();
     } else {
         live.lost_closes.inc();
+    }
+}
+
+/// A cloneable reader of the server's live per-input resume cursors
+/// (see [`IngestServer::cursors`]).
+#[derive(Clone)]
+pub struct CursorHandle {
+    shared: Arc<ServerShared>,
+}
+
+impl CursorHandle {
+    /// `(consumed frames, acked stable)` per input, in input order.
+    pub fn cursors(&self) -> Vec<(u64, i64)> {
+        self.shared
+            .inputs
+            .iter()
+            .map(|s| {
+                (
+                    s.pops.load(Ordering::Acquire),
+                    s.acked_stable.load(Ordering::Acquire),
+                )
+            })
+            .collect()
     }
 }
 
@@ -773,6 +827,61 @@ mod tests {
             thread::sleep(Duration::from_micros(200));
         }
         assert!(!server.await_sessions_closed(Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn restored_cursors_resume_a_restarted_server_exactly_once() {
+        let sent = feed(40);
+
+        // First incarnation: the client dies after 25 frames, the merge
+        // side consumes exactly what arrived, and we cut a cursor image —
+        // then the whole process "dies" (server dropped, ring lost).
+        let mut server = IngestServer::bind("127.0.0.1:0", IngestConfig::new(1)).unwrap();
+        let addr = server.local_addr().to_string();
+        let client_feed = sent.clone();
+        let client = thread::spawn(move || {
+            replay(
+                &addr,
+                &client_feed,
+                &ReplayConfig::new(0).with_kill_after(25),
+            )
+            .expect("replay")
+        });
+        let outcome = client.join().unwrap();
+        assert!(!outcome.clean);
+        assert_eq!(outcome.sent, 25);
+        let mut source = server.sources().remove(0);
+        let mut got: Vec<TimedElement<Value>> = Vec::new();
+        for _ in 0..25 {
+            got.push(source.next().expect("killed client's frames all arrive"));
+        }
+        let cursors = server.cursors();
+        assert_eq!(cursors, vec![(25, Time::MIN.0)]);
+        drop(source);
+        drop(server);
+
+        // Second incarnation on a fresh port: cursors restored from the
+        // "checkpoint", the same client feed replayed. The handshake must
+        // skip the consumed prefix and deliver only the missing suffix.
+        let mut server = IngestServer::bind("127.0.0.1:0", IngestConfig::new(1)).unwrap();
+        server.restore_cursors(&cursors);
+        let addr = server.local_addr().to_string();
+        let client_feed = sent.clone();
+        let client = thread::spawn(move || {
+            replay(&addr, &client_feed, &ReplayConfig::new(0)).expect("replay")
+        });
+        got.extend(drain_sources(server.sources()).remove(0));
+        let outcome = client.join().unwrap();
+        assert!(outcome.clean);
+        assert_eq!(
+            outcome.resumed_from, 25,
+            "welcome carried the restored cursor"
+        );
+        assert_eq!(
+            outcome.sent, 16,
+            "only the unconsumed suffix crossed the wire"
+        );
+        assert_eq!(got, sent, "exactly-once across the restart");
     }
 
     #[test]

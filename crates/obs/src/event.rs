@@ -50,6 +50,9 @@ pub enum FaultKind {
     Attach,
     /// An input's delivery was frozen until a later virtual time.
     Stall,
+    /// The merge operator was killed and rebuilt from a durable state image
+    /// mid-run (the whole merge, so `input` is `u32::MAX` in the trace).
+    CrashMerge,
 }
 
 impl FaultKind {
@@ -62,6 +65,7 @@ impl FaultKind {
             FaultKind::Detach => "detach",
             FaultKind::Attach => "attach",
             FaultKind::Stall => "stall",
+            FaultKind::CrashMerge => "crash_merge",
         }
     }
 }
@@ -331,6 +335,42 @@ pub enum TraceEvent {
         /// The observed value at resolution.
         value: i64,
     },
+    /// The durability layer captured a consistent image of the run.
+    ///
+    /// `seq` is the checkpoint sequence number (monotone per run); a
+    /// restored run's first checkpoint continues the killed run's numbering
+    /// so concatenated traces stay monotone.
+    CheckpointTaken {
+        /// Virtual time of the stable advance that triggered the capture.
+        at: VTime,
+        /// Checkpoint sequence number.
+        seq: u64,
+        /// Live state entries captured in the merge image.
+        entries: u64,
+        /// Whether the image was persisted as a delta against the previous
+        /// checkpoint (`true`) or a full snapshot (`false`).
+        delta: bool,
+    },
+    /// A run was rebuilt from a durable checkpoint instead of starting
+    /// empty.
+    CheckpointRestored {
+        /// Virtual time the restored executor resumes at.
+        at: VTime,
+        /// Sequence number of the checkpoint the run was rebuilt from.
+        seq: u64,
+        /// Live state entries restored into the merge.
+        entries: u64,
+    },
+    /// A robustness demotion spilled an input's half-frozen state to a
+    /// durable sorted run instead of dropping it.
+    StateSpilled {
+        /// Virtual time of the demotion.
+        at: VTime,
+        /// The input whose state was spilled.
+        input: u32,
+        /// Entries written to the sorted run.
+        entries: u64,
+    },
 }
 
 impl TraceEvent {
@@ -353,7 +393,10 @@ impl TraceEvent {
             | TraceEvent::CreditGranted { at, .. }
             | TraceEvent::NetQueueSampled { at, .. }
             | TraceEvent::AlertFired { at, .. }
-            | TraceEvent::AlertResolved { at, .. } => at,
+            | TraceEvent::AlertResolved { at, .. }
+            | TraceEvent::CheckpointTaken { at, .. }
+            | TraceEvent::CheckpointRestored { at, .. }
+            | TraceEvent::StateSpilled { at, .. } => at,
         }
     }
 
@@ -377,6 +420,9 @@ impl TraceEvent {
             TraceEvent::NetQueueSampled { .. } => "net_queue_sampled",
             TraceEvent::AlertFired { .. } => "alert_fired",
             TraceEvent::AlertResolved { .. } => "alert_resolved",
+            TraceEvent::CheckpointTaken { .. } => "checkpoint_taken",
+            TraceEvent::CheckpointRestored { .. } => "checkpoint_restored",
+            TraceEvent::StateSpilled { .. } => "state_spilled",
         }
     }
 }
@@ -452,6 +498,33 @@ mod tests {
         assert_eq!(AlertKind::RingDrop.label(), "ring_drop");
         assert_eq!(Severity::Critical.label(), "critical");
         assert!(Severity::Info < Severity::Warn);
+    }
+
+    #[test]
+    fn durability_events() {
+        let t = TraceEvent::CheckpointTaken {
+            at: VTime(50),
+            seq: 3,
+            entries: 120,
+            delta: true,
+        };
+        assert_eq!(t.at(), VTime(50));
+        assert_eq!(t.name(), "checkpoint_taken");
+        let r = TraceEvent::CheckpointRestored {
+            at: VTime(51),
+            seq: 3,
+            entries: 120,
+        };
+        assert_eq!(r.at(), VTime(51));
+        assert_eq!(r.name(), "checkpoint_restored");
+        let s = TraceEvent::StateSpilled {
+            at: VTime(52),
+            input: 1,
+            entries: 40,
+        };
+        assert_eq!(s.at(), VTime(52));
+        assert_eq!(s.name(), "state_spilled");
+        assert_eq!(FaultKind::CrashMerge.label(), "crash_merge");
     }
 
     #[test]

@@ -118,6 +118,22 @@ fn event_json(e: &TraceEvent) -> Json {
         TraceEvent::AlertResolved { kind, value, .. } => {
             obj.set("kind", kind.label()).set("value", value);
         }
+        TraceEvent::CheckpointTaken {
+            seq,
+            entries,
+            delta,
+            ..
+        } => {
+            obj.set("seq", seq)
+                .set("entries", entries)
+                .set("delta", delta);
+        }
+        TraceEvent::CheckpointRestored { seq, entries, .. } => {
+            obj.set("seq", seq).set("entries", entries);
+        }
+        TraceEvent::StateSpilled { input, entries, .. } => {
+            obj.set("input", input).set("entries", entries);
+        }
     }
     obj
 }
@@ -394,6 +410,40 @@ pub fn to_chrome_trace<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> Stri
                     Json::object().with("value", value),
                 ));
             }
+            TraceEvent::CheckpointTaken {
+                seq,
+                entries,
+                delta,
+                ..
+            } => {
+                trace.push(chrome_instant(
+                    if delta {
+                        "checkpoint (delta)"
+                    } else {
+                        "checkpoint (snapshot)"
+                    },
+                    ts,
+                    OUTPUT_TID,
+                    Json::object().with("seq", seq).with("entries", entries),
+                ));
+            }
+            TraceEvent::CheckpointRestored { seq, entries, .. } => {
+                trace.push(chrome_instant(
+                    "checkpoint restored",
+                    ts,
+                    OUTPUT_TID,
+                    Json::object().with("seq", seq).with("entries", entries),
+                ));
+            }
+            TraceEvent::StateSpilled { input, entries, .. } => {
+                name_thread(&mut trace, input + 1, format!("input {input}"));
+                trace.push(chrome_instant(
+                    "state spilled",
+                    ts,
+                    input + 1,
+                    Json::object().with("entries", entries),
+                ));
+            }
         }
     }
 
@@ -593,6 +643,22 @@ mod tests {
                 at: VTime(31),
                 kind: crate::event::AlertKind::WatermarkLag,
                 value: 12,
+            },
+            TraceEvent::CheckpointTaken {
+                at: VTime(32),
+                seq: 2,
+                entries: 64,
+                delta: false,
+            },
+            TraceEvent::CheckpointRestored {
+                at: VTime(33),
+                seq: 2,
+                entries: 64,
+            },
+            TraceEvent::StateSpilled {
+                at: VTime(34),
+                input: 1,
+                entries: 8,
             },
         ]
     }

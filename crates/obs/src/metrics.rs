@@ -550,6 +550,12 @@ pub struct EngineMetrics {
     feedback: Counter,
     quarantines: Counter,
     demotions: Counter,
+    /// `[snapshot, delta]` checkpoint counters.
+    checkpoints: [Counter; 2],
+    checkpoint_entries: Gauge,
+    checkpoint_restores: Counter,
+    spills: Counter,
+    spilled_entries: Counter,
     shards: Vec<(Gauge, Gauge, Gauge)>,
     sessions: Vec<(Counter, Counter, Counter, Counter, Counter, Gauge)>,
     /// Output stable point, mirrored for the `behind` gauges.
@@ -622,6 +628,38 @@ impl EngineMetrics {
             demotions: r.counter(
                 "lmerge_demotions_total",
                 "Inputs detached (health transitioned to left).",
+                &[],
+            ),
+            checkpoints: [
+                r.counter(
+                    "lmerge_checkpoints_total",
+                    "Durable checkpoints taken, by persisted kind.",
+                    &[("kind", "snapshot")],
+                ),
+                r.counter(
+                    "lmerge_checkpoints_total",
+                    "Durable checkpoints taken, by persisted kind.",
+                    &[("kind", "delta")],
+                ),
+            ],
+            checkpoint_entries: r.gauge(
+                "lmerge_checkpoint_entries",
+                "Live state entries captured by the most recent checkpoint.",
+                &[],
+            ),
+            checkpoint_restores: r.counter(
+                "lmerge_checkpoint_restores_total",
+                "Runs rebuilt from a durable checkpoint.",
+                &[],
+            ),
+            spills: r.counter(
+                "lmerge_spills_total",
+                "Robustness demotions that spilled state to a durable run.",
+                &[],
+            ),
+            spilled_entries: r.counter(
+                "lmerge_spilled_entries_total",
+                "State entries written to durable spill runs.",
                 &[],
             ),
             inputs: Vec::new(),
@@ -853,6 +891,15 @@ impl EngineMetrics {
                 self.session(input).5.set(depth as i64);
             }
             TraceEvent::AlertFired { .. } | TraceEvent::AlertResolved { .. } => {}
+            TraceEvent::CheckpointTaken { entries, delta, .. } => {
+                self.checkpoints[delta as usize].inc();
+                self.checkpoint_entries.set(entries as i64);
+            }
+            TraceEvent::CheckpointRestored { .. } => self.checkpoint_restores.inc(),
+            TraceEvent::StateSpilled { entries, .. } => {
+                self.spills.inc();
+                self.spilled_entries.add(entries);
+            }
         }
     }
 }
@@ -1034,6 +1081,39 @@ mod tests {
         assert_eq!(r.max_value("lmerge_input_behind"), Some(60.0));
         assert_eq!(r.max_value("lmerge_quarantines_total"), Some(1.0));
         assert_eq!(r.max_value("lmerge_input_health"), Some(2.0));
+    }
+
+    #[test]
+    fn engine_bridge_folds_durability_events() {
+        let r = MetricsRegistry::new();
+        let mut m = EngineMetrics::new(&r);
+        m.on_event(&TraceEvent::CheckpointTaken {
+            at: VTime(1),
+            seq: 0,
+            entries: 12,
+            delta: false,
+        });
+        m.on_event(&TraceEvent::CheckpointTaken {
+            at: VTime(2),
+            seq: 1,
+            entries: 15,
+            delta: true,
+        });
+        m.on_event(&TraceEvent::CheckpointRestored {
+            at: VTime(3),
+            seq: 1,
+            entries: 15,
+        });
+        m.on_event(&TraceEvent::StateSpilled {
+            at: VTime(4),
+            input: 0,
+            entries: 8,
+        });
+        assert_eq!(r.sum_value("lmerge_checkpoints_total"), Some(2.0));
+        assert_eq!(r.max_value("lmerge_checkpoint_entries"), Some(15.0));
+        assert_eq!(r.max_value("lmerge_checkpoint_restores_total"), Some(1.0));
+        assert_eq!(r.max_value("lmerge_spills_total"), Some(1.0));
+        assert_eq!(r.max_value("lmerge_spilled_entries_total"), Some(8.0));
     }
 
     #[test]

@@ -40,14 +40,20 @@
 //! * [`gen`] — the paper's synthetic workload generator and divergence /
 //!   lag / burst / congestion models (Section VI-B).
 //! * [`chaos`] — deterministic fault injection (crash, rejoin, duplicate,
-//!   reorder, frozen stables, stalls, overflow) and the differential
-//!   conformance harness that replays one fault plan across the spectrum.
+//!   reorder, frozen stables, stalls, overflow, merge-process crashes) and
+//!   the differential conformance harness that replays one fault plan
+//!   across the spectrum.
+//! * [`durable`] — checkpoint/restore and log-structured spill: versioned,
+//!   checksummed snapshot + delta files, sorted on-disk runs with a k-way
+//!   merge cursor, and the checkpoint sink that makes a restarted merge
+//!   byte-identical to one that never died.
 //! * [`net`] — wire protocol + TCP ingest/egress: physically independent
 //!   replicas feeding LMerge over real sockets, with credit backpressure,
 //!   crash/resume sessions, and a fault-injecting chaos proxy.
 
 pub use lmerge_chaos as chaos;
 pub use lmerge_core as core;
+pub use lmerge_durable as durable;
 pub use lmerge_engine as engine;
 pub use lmerge_gen as gen;
 pub use lmerge_net as net;

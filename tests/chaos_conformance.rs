@@ -108,6 +108,63 @@ fn each_fault_scenario_passes_the_oracle_for_every_variant() {
     }
 }
 
+/// A merge-process crash mid-run: the injector round-trips the live merge
+/// state through the durable codec, restores it into a fresh build, and
+/// the compatibility oracle must keep holding at every stable advance
+/// across the crash boundary — alone, and stacked with an input-side
+/// fault so recovery composes with degradation.
+#[test]
+fn merge_crash_recovers_and_stays_conformant() {
+    let cfg = ChaosConfig::small(MASTER_SEEDS[2]);
+    let plans = [
+        vec![Fault::CrashMerge { at: VTime(900) }],
+        vec![
+            Fault::CrashMerge { at: VTime(1_200) },
+            Fault::DuplicateBatches {
+                input: 1,
+                from: VTime(400),
+                until: VTime(2_000),
+            },
+        ],
+    ];
+    for faults in plans {
+        let plan = FaultPlan {
+            seed: cfg.seed,
+            faults,
+        };
+        for v in ALL_VARIANTS {
+            let o = run_variant(v, &cfg, &plan);
+            assert!(
+                o.ok(),
+                "{} across a merge crash: violations={:?} completed={} tdb_matches={}",
+                v.name(),
+                o.violations,
+                o.completed,
+                o.tdb_matches,
+            );
+            assert!(
+                o.applied.iter().any(|(k, n)| k == "crash_merge" && *n > 0),
+                "{}: the crash never fired: applied={:?}",
+                v.name(),
+                o.applied,
+            );
+            assert!(
+                o.checks > 0,
+                "{}: oracle never ran across the crash boundary",
+                v.name()
+            );
+            // The crash is part of the deterministic replay contract too.
+            let again = run_variant(v, &cfg, &plan);
+            assert_eq!(
+                o.trace,
+                again.trace,
+                "{}: a crashing run must still replay byte-identically",
+                v.name()
+            );
+        }
+    }
+}
+
 /// Determinism is the debugging contract: the same seed must reproduce
 /// the same run down to the last byte of the observability trace.
 #[test]
