@@ -10,17 +10,27 @@
 //! ...
 //! ```
 //!
-//! Every file is a checksummed [`crate::codec`] envelope, written atomically
-//! (`.tmp` + rename) so a crash mid-write leaves at worst a stray temp file,
-//! never a torn checkpoint. A delta stores the executor image and the merge
-//! image's scalars in full (they are tiny) plus, for each index in a fixed
-//! pre-order traversal (shared entries, per-input indexes, then shards
-//! recursively), the keys removed and the entries inserted-or-changed since
-//! the previous checkpoint — computed by a sorted merge-walk over the
-//! canonical `(Vs, payload)` order. [`CheckpointStore::load_latest`]
-//! restores the newest snapshot and replays the deltas after it.
+//! Every file is a checksummed [`crate::codec`] envelope, published
+//! crash-safely (`.tmp` + fsync + rename + directory fsync, see
+//! `crate::fsutil`) so neither a process kill nor a power loss can leave a
+//! torn checkpoint — at worst a stray temp file, cleared on the next open.
+//! A delta stores the executor image and the merge image's scalars in full
+//! (they are tiny) plus, for each index in a fixed pre-order traversal
+//! (shared entries, per-input indexes, then shards recursively), the keys
+//! removed and the entries inserted-or-changed since the previous
+//! checkpoint — computed by a sorted merge-walk over the canonical
+//! `(Vs, payload)` order.
+//!
+//! [`CheckpointStore::load_latest`] restores the newest snapshot and
+//! replays the deltas after it — defensively: a torn or missing file costs
+//! only the chain suffix behind it. Recovery keeps the longest intact
+//! prefix of the newest chain, falls back to an older snapshot chain when
+//! the newest snapshot itself is unreadable, and surfaces what it skipped
+//! as warnings ([`CheckpointStore::recover`]) instead of refusing to
+//! restore at all.
 
 use crate::codec::{envelope, open_envelope, put_count, Cursor, DurableError, FileKind};
+use crate::fsutil::{remove_temp_files, write_atomic};
 use crate::image::{
     get_entry, get_exec_image, get_merge_image, get_run_image, put_entry, put_exec_image,
     put_merge_image, put_run_image,
@@ -272,13 +282,6 @@ fn parse_name(name: &str) -> Option<(u64, bool)> {
     }
 }
 
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DurableError> {
-    let tmp = path.with_extension("lmck.tmp");
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path)?;
-    Ok(())
-}
-
 /// List `(seq, is_delta)` pairs present in `dir`, ascending by seq.
 fn scan(dir: &Path) -> Result<Vec<(u64, bool)>, DurableError> {
     let mut found = Vec::new();
@@ -292,6 +295,21 @@ fn scan(dir: &Path) -> Result<Vec<(u64, bool)>, DurableError> {
     Ok(found)
 }
 
+/// What [`CheckpointStore::recover`] restored, and how it got there.
+pub struct Recovery<P: DurablePayload> {
+    /// Checkpoint sequence of the restored image.
+    pub seq: u64,
+    /// The snapshot the restored chain starts from; `seq - snap_seq`
+    /// deltas were replayed on top of it.
+    pub snap_seq: u64,
+    /// The restored image.
+    pub image: RunImage<P>,
+    /// Files skipped to reach a restorable image. Non-empty means the
+    /// newest chain was torn, corrupt, or gapped, and recovery kept the
+    /// longest intact prefix (possibly of an older snapshot chain).
+    pub warnings: Vec<String>,
+}
+
 /// The on-disk checkpoint chain for one run.
 pub struct CheckpointStore<P: DurablePayload> {
     dir: PathBuf,
@@ -303,21 +321,38 @@ pub struct CheckpointStore<P: DurablePayload> {
 
 impl<P: DurablePayload> CheckpointStore<P> {
     /// Open (or initialise) a checkpoint directory. If checkpoints already
-    /// exist, numbering continues after the latest and the latest image is
-    /// loaded as the delta base — a restarted store keeps delta-chaining.
+    /// exist, numbering continues after the latest restorable image, which
+    /// is loaded as the delta base — a restarted store keeps
+    /// delta-chaining, and deltas already on disk count toward the
+    /// re-snapshot cadence so repeated restarts cannot grow a chain (and
+    /// its recovery replay cost) without bound. Stray `.tmp` files and
+    /// tail files recovery could not use (torn, or orphaned behind a torn
+    /// snapshot) are removed: the store is about to rewrite those
+    /// sequence numbers.
     pub fn create(dir: impl Into<PathBuf>) -> Result<CheckpointStore<P>, DurableError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        let (next_seq, base) = match Self::load_latest_in(&dir) {
-            Ok((seq, image)) => (seq + 1, Some(image)),
-            Err(DurableError::NoCheckpoint) => (0, None),
+        remove_temp_files(&dir)?;
+        let (next_seq, since_snapshot, base) = match Self::recover(&dir) {
+            Ok(r) => {
+                for w in &r.warnings {
+                    eprintln!("lmerge-durable: {w}");
+                }
+                for (seq, delta) in scan(&dir)? {
+                    if seq > r.seq {
+                        std::fs::remove_file(dir.join(file_name(seq, delta)))?;
+                    }
+                }
+                (r.seq + 1, r.seq - r.snap_seq, Some(r.image))
+            }
+            Err(DurableError::NoCheckpoint) => (0, 0, None),
             Err(e) => return Err(e),
         };
         Ok(CheckpointStore {
             dir,
             next_seq,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
-            since_snapshot: 0,
+            since_snapshot,
             base,
         })
     }
@@ -360,51 +395,100 @@ impl<P: DurablePayload> CheckpointStore<P> {
         Ok((seq, as_delta))
     }
 
-    /// Load the most recent restorable image from `dir`: the latest
-    /// snapshot plus every delta after it, in order. Returns the image's
-    /// checkpoint sequence number alongside it.
+    /// Load the most recent restorable image from `dir`. Any corruption
+    /// worked around (see [`recover`](CheckpointStore::recover)) is
+    /// reported to stderr; only a directory with *no* restorable image at
+    /// all is an error.
     pub fn load_latest(dir: impl AsRef<Path>) -> Result<(u64, RunImage<P>), DurableError> {
-        Self::load_latest_in(dir.as_ref())
+        let r = Self::recover(dir.as_ref())?;
+        for w in &r.warnings {
+            eprintln!("lmerge-durable: {w}");
+        }
+        Ok((r.seq, r.image))
     }
 
-    fn load_latest_in(dir: &Path) -> Result<(u64, RunImage<P>), DurableError> {
+    /// Restore the newest image the directory's files can still produce.
+    ///
+    /// Walks snapshot chains newest-first. Within a chain, deltas are
+    /// replayed in order until the first torn, corrupt, or missing file —
+    /// the intact prefix up to that point is kept (a crash can tear at
+    /// most the file being written, so this loses only the newest cut,
+    /// not recoverability). If the newest snapshot itself is unreadable,
+    /// the previous chain is tried in full. Everything skipped is
+    /// recorded in [`Recovery::warnings`]. Errors only when no snapshot
+    /// decodes at all: [`DurableError::NoCheckpoint`] for an empty or
+    /// missing directory, otherwise the newest chain's decode error.
+    pub fn recover(dir: impl AsRef<Path>) -> Result<Recovery<P>, DurableError> {
+        let dir = dir.as_ref();
         let found = match scan(dir) {
             Ok(found) => found,
             Err(DurableError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e),
         };
-        let snap_seq = found
+        let snaps: Vec<u64> = found
             .iter()
-            .rev()
-            .find(|(_, delta)| !delta)
-            .map(|(seq, _)| *seq)
-            .ok_or(DurableError::NoCheckpoint)?;
-        let mut image = Self::read_file(dir, snap_seq, false)?;
-        let mut at = snap_seq;
-        for &(seq, delta) in found.iter().filter(|(seq, _)| *seq > snap_seq) {
-            if !delta {
-                unreachable!("snap_seq is the latest snapshot");
-            }
-            if seq != at + 1 {
-                return Err(DurableError::Corrupt("gap in checkpoint chain"));
-            }
-            let bytes = std::fs::read(dir.join(file_name(seq, true)))?;
-            let (kind, payload) = open_envelope(&bytes)?;
-            if kind != FileKind::Delta {
-                return Err(DurableError::Corrupt("delta file with wrong kind tag"));
-            }
-            let (base_seq, next) = apply_delta(&image, payload)?;
-            if base_seq != at {
-                return Err(DurableError::Corrupt("delta base sequence mismatch"));
-            }
-            image = next;
-            at = seq;
+            .filter(|&&(_, delta)| !delta)
+            .map(|&(seq, _)| seq)
+            .collect();
+        if snaps.is_empty() {
+            return Err(DurableError::NoCheckpoint);
         }
-        Ok((at, image))
+        let mut warnings = Vec::new();
+        let mut newest_err = None;
+        for (i, &snap_seq) in snaps.iter().enumerate().rev() {
+            let mut image = match Self::read_snapshot(dir, snap_seq) {
+                Ok(image) => image,
+                Err(e) => {
+                    warnings.push(format!(
+                        "snapshot {snap_seq} unreadable ({e}); trying the previous chain"
+                    ));
+                    if newest_err.is_none() {
+                        newest_err = Some(e);
+                    }
+                    continue;
+                }
+            };
+            // This chain's deltas end where the next snapshot (if any)
+            // starts a fresh one.
+            let chain_end = snaps.get(i + 1).copied().unwrap_or(u64::MAX);
+            let mut at = snap_seq;
+            for &(seq, delta) in found
+                .iter()
+                .filter(|&&(s, d)| d && s > snap_seq && s < chain_end)
+            {
+                debug_assert!(delta);
+                if seq != at + 1 {
+                    warnings.push(format!(
+                        "delta {} missing; restoring through checkpoint {at}",
+                        at + 1
+                    ));
+                    break;
+                }
+                match Self::read_delta(dir, &image, seq) {
+                    Ok(next) => {
+                        image = next;
+                        at = seq;
+                    }
+                    Err(e) => {
+                        warnings.push(format!(
+                            "delta {seq} unreadable ({e}); restoring through checkpoint {at}"
+                        ));
+                        break;
+                    }
+                }
+            }
+            return Ok(Recovery {
+                seq: at,
+                snap_seq,
+                image,
+                warnings,
+            });
+        }
+        Err(newest_err.expect("at least one snapshot failed to read"))
     }
 
-    fn read_file(dir: &Path, seq: u64, delta: bool) -> Result<RunImage<P>, DurableError> {
-        let bytes = std::fs::read(dir.join(file_name(seq, delta)))?;
+    fn read_snapshot(dir: &Path, seq: u64) -> Result<RunImage<P>, DurableError> {
+        let bytes = std::fs::read(dir.join(file_name(seq, false)))?;
         let (kind, payload) = open_envelope(&bytes)?;
         if kind != FileKind::Snapshot {
             return Err(DurableError::Corrupt("snapshot file with wrong kind tag"));
@@ -415,6 +499,19 @@ impl<P: DurablePayload> CheckpointStore<P> {
             return Err(DurableError::Corrupt("trailing bytes after snapshot"));
         }
         Ok(image)
+    }
+
+    fn read_delta(dir: &Path, base: &RunImage<P>, seq: u64) -> Result<RunImage<P>, DurableError> {
+        let bytes = std::fs::read(dir.join(file_name(seq, true)))?;
+        let (kind, payload) = open_envelope(&bytes)?;
+        if kind != FileKind::Delta {
+            return Err(DurableError::Corrupt("delta file with wrong kind tag"));
+        }
+        let (base_seq, next) = apply_delta(base, payload)?;
+        if base_seq != seq - 1 {
+            return Err(DurableError::Corrupt("delta base sequence mismatch"));
+        }
+        Ok(next)
     }
 }
 
@@ -505,6 +602,17 @@ impl<P: DurablePayload> CheckpointSink<P> for DurableCheckpointSink<P> {
         }
         if image.cursors.is_empty() && !self.cursors.is_empty() {
             image.cursors = self.cursors.clone();
+            // A transport cursor counts frames the merge side *popped*
+            // from its ingest ring, but the executor offers the cut with
+            // each input's next batch already staged — popped, yet absent
+            // from the merge image. Persist the delivered prefix instead:
+            // drop the staged frame from the count, so a restored server's
+            // resume handshake replays it rather than skipping it.
+            for (i, cursor) in image.cursors.iter_mut().enumerate() {
+                if image.exec.staged.get(i).is_some_and(Option::is_some) {
+                    cursor.0 = cursor.0.saturating_sub(1);
+                }
+            }
         }
         match self.store.save(&image) {
             Ok((seq, delta)) => CheckpointSave {
@@ -642,6 +750,123 @@ mod tests {
             CheckpointStore::<i32>::load_latest(&dir),
             Err(DurableError::NoCheckpoint)
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn saved_cursors_discount_staged_frames() {
+        let dir = tmp_dir("staged-cursors");
+        let store: CheckpointStore<i32> = CheckpointStore::create(&dir).unwrap();
+        let mut sink = DurableCheckpointSink::new(store)
+            .with_cursor_source(Box::new(|| vec![(5, 100), (7, 200), (9, 300)]));
+        let mut image = run_image(vec![entry(1, 10, 20)], 5, 1);
+        image.cursors = Vec::new();
+        // Inputs 0 and 2 have a frame popped from their ring but still
+        // staged in the delivery heap; input 1 was drained.
+        image.exec.staged = vec![Some((VTime(50), 4)), None, Some((VTime(60), 6))];
+        image.exec.pulls = vec![5, 7, 9];
+        let saved = sink.save(image);
+        assert!(sink.error.is_none(), "{:?}", sink.error);
+        assert_eq!(saved.seq, 0);
+        let (_, restored) = CheckpointStore::<i32>::load_latest(&dir).unwrap();
+        // The staged frames never reached the merge image, so the
+        // persisted cursors must not count them: a restore replays each.
+        assert_eq!(restored.cursors, vec![(4, 100), (7, 200), (8, 300)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_newest_delta_restores_the_intact_prefix() {
+        let dir = tmp_dir("torn-delta");
+        let images = [
+            run_image(vec![entry(1, 10, 20)], 5, 1),
+            run_image(vec![entry(1, 10, 20), entry(2, 11, 21)], 8, 2),
+            run_image(vec![entry(3, 12, 22)], 11, 3),
+        ];
+        let mut store: CheckpointStore<i32> = CheckpointStore::create(&dir).unwrap();
+        for img in &images {
+            store.save(img).unwrap();
+        }
+        // Tear the newest delta, as an unsynced power loss would.
+        let path = dir.join(file_name(2, true));
+        let whole = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &whole[..whole.len() / 2]).unwrap();
+        let r = CheckpointStore::<i32>::recover(&dir).unwrap();
+        assert_eq!((r.seq, r.snap_seq), (1, 0));
+        assert_eq!(r.image.merge, images[1].merge);
+        assert_eq!(r.warnings.len(), 1, "the torn file is surfaced");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_newest_snapshot_falls_back_to_the_prior_chain() {
+        let dir = tmp_dir("torn-snap");
+        let images = [
+            run_image(vec![entry(1, 10, 20)], 5, 1),
+            run_image(vec![entry(1, 10, 20), entry(2, 11, 21)], 8, 2),
+            run_image(vec![entry(3, 12, 22)], 11, 3),
+        ];
+        let mut store: CheckpointStore<i32> = CheckpointStore::create(&dir)
+            .unwrap()
+            .with_snapshot_every(1);
+        let mut kinds = Vec::new();
+        for img in &images {
+            kinds.push(store.save(img).unwrap().1);
+        }
+        assert_eq!(kinds, vec![false, true, false], "snap, delta, snap");
+        // Corrupt the newest snapshot: recovery must fall back to the
+        // previous chain (snapshot 0 + delta 1) instead of failing.
+        let path = dir.join(file_name(2, false));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = CheckpointStore::<i32>::recover(&dir).unwrap();
+        assert_eq!((r.seq, r.snap_seq), (1, 0));
+        assert_eq!(r.image.merge, images[1].merge);
+        assert!(!r.warnings.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopened_store_counts_existing_deltas_toward_the_cadence() {
+        let dir = tmp_dir("reopen-cadence");
+        let img = |n: u64| run_image(vec![entry(n as i32, 10, 20)], n as i64 * 3, n);
+        let mut store: CheckpointStore<i32> = CheckpointStore::create(&dir)
+            .unwrap()
+            .with_snapshot_every(2);
+        assert!(!store.save(&img(1)).unwrap().1, "snapshot 0");
+        assert!(store.save(&img(2)).unwrap().1, "delta 1");
+        drop(store);
+        // A restart must not reset the cadence: one more delta fits, then
+        // the on-disk chain length forces a snapshot.
+        let mut store: CheckpointStore<i32> = CheckpointStore::create(&dir)
+            .unwrap()
+            .with_snapshot_every(2);
+        assert_eq!(store.save(&img(3)).unwrap(), (2, true), "delta 2");
+        assert_eq!(store.save(&img(4)).unwrap(), (3, false), "forced snapshot");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_prunes_stray_tmp_and_unreachable_tail_files() {
+        let dir = tmp_dir("prune");
+        let mut store: CheckpointStore<i32> = CheckpointStore::create(&dir).unwrap();
+        store
+            .save(&run_image(vec![entry(1, 10, 20)], 5, 1))
+            .unwrap();
+        // A crash mid-write leaves a temp file; a torn tail delta is
+        // unreachable once recovery stops before it.
+        std::fs::write(dir.join("ck-00000009-snap.lmck.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join(file_name(1, true)), b"garbage").unwrap();
+        let store: CheckpointStore<i32> = CheckpointStore::create(&dir).unwrap();
+        assert_eq!(store.next_seq(), 1, "numbering continues after the recovered cut");
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["ck-00000000-snap.lmck".to_string()]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

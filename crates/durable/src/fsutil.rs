@@ -1,0 +1,64 @@
+//! Crash-safe file publication shared by the checkpoint and spill stores.
+
+use crate::codec::DurableError;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// Write `bytes` to `path` so that a reader never observes a torn file and
+/// a completed call survives power loss:
+///
+/// 1. write to a `<name>.tmp` sibling,
+/// 2. `fsync` the temp file (data durable before it is named),
+/// 3. rename over `path` (atomic publication),
+/// 4. `fsync` the directory (the rename itself durable).
+///
+/// Without steps 2 and 4 the rename can reach disk before the data does,
+/// and an OS crash then leaves a "latest" file full of zeros — `.tmp` +
+/// rename alone only protects against *process* crashes. A crash mid-write
+/// still leaves at worst a stray `.tmp` sibling, which
+/// [`remove_temp_files`] clears on the next store open.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DurableError> {
+    let mut tmp_name = path
+        .file_name()
+        .expect("write_atomic: path has a file name")
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        fsync_dir(dir)?;
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn fsync_dir(dir: &Path) -> Result<(), DurableError> {
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn fsync_dir(_dir: &Path) -> Result<(), DurableError> {
+    // Directories cannot be opened for syncing on non-unix platforms; the
+    // rename is still atomic, just not durably ordered.
+    Ok(())
+}
+
+/// Delete stray `*.tmp` files left by a crash mid-[`write_atomic`].
+pub(crate) fn remove_temp_files(dir: &Path) -> Result<(), DurableError> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry
+            .file_name()
+            .to_str()
+            .is_some_and(|n| n.ends_with(".tmp"))
+        {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}

@@ -29,11 +29,12 @@
 
 pub mod checkpoint;
 pub mod codec;
+mod fsutil;
 pub mod image;
 pub mod payload;
 pub mod spill;
 
-pub use checkpoint::{CheckpointStore, DurableCheckpointSink, DEFAULT_SNAPSHOT_EVERY};
+pub use checkpoint::{CheckpointStore, DurableCheckpointSink, Recovery, DEFAULT_SNAPSHOT_EVERY};
 pub use codec::{envelope, open_envelope, Cursor, DurableError, FileKind, MAGIC, VERSION};
 pub use image::{get_merge_image, get_run_image, put_merge_image, put_run_image};
 pub use payload::DurablePayload;

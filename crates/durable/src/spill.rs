@@ -11,6 +11,7 @@
 //! resident at a time.
 
 use crate::codec::{envelope, open_envelope, put_count, Cursor, DurableError, FileKind};
+use crate::fsutil::{remove_temp_files, write_atomic};
 use crate::image::{get_entry, put_entry};
 use crate::payload::DurablePayload;
 use lmerge_core::{SpillHandler, StateEntry};
@@ -39,10 +40,12 @@ pub struct SpillStore {
 
 impl SpillStore {
     /// Open (or initialise) a spill directory, continuing run numbering
-    /// after any runs already present.
+    /// after any runs already present. Stray `.tmp` files from a crash
+    /// mid-write are removed.
     pub fn create(dir: impl Into<PathBuf>) -> Result<SpillStore, DurableError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        remove_temp_files(&dir)?;
         let mut next_run = 0;
         for entry in std::fs::read_dir(&dir)? {
             if let Some(n) = entry?.file_name().to_str().and_then(parse_run_name) {
@@ -81,9 +84,10 @@ impl SpillStore {
             put_entry(&mut payload, e);
         }
         let n = self.next_run;
-        let tmp = self.dir.join(format!("{}.tmp", run_name(n)));
-        std::fs::write(&tmp, envelope(FileKind::SpillRun, &payload))?;
-        std::fs::rename(&tmp, self.dir.join(run_name(n)))?;
+        write_atomic(
+            &self.dir.join(run_name(n)),
+            &envelope(FileKind::SpillRun, &payload),
+        )?;
         self.next_run = n + 1;
         Ok(n)
     }

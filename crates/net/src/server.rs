@@ -540,7 +540,12 @@ pub struct CursorHandle {
 }
 
 impl CursorHandle {
-    /// `(consumed frames, acked stable)` per input, in input order.
+    /// `(popped frames, acked stable)` per input, in input order.
+    ///
+    /// A pop count includes the frame the executor has staged but not
+    /// yet merged; `DurableCheckpointSink` discounts staged frames when
+    /// persisting, so checkpointed cursors mean *delivered into the
+    /// merge* and a restored server replays the staged frame.
     pub fn cursors(&self) -> Vec<(u64, i64)> {
         self.shared
             .inputs

@@ -13,6 +13,8 @@
 use lmerge::chaos::{
     general_feeds, restricted_feeds, ChaosConfig, ChaosInjector, Chunker, Variant, ALL_VARIANTS,
 };
+use lmerge::core::{new_for_level, MergePolicy};
+use lmerge::durable::{CheckpointStore, DurableCheckpointSink};
 use lmerge::engine::{
     run_pipeline, MergeRun, Operator, PipeItem, PipelineConfig, Query, RunConfig, TimedElement,
 };
@@ -25,7 +27,7 @@ use lmerge::obs::{
     MetricsRegistry, MetricsServer, ScrapeAlerts, TraceSink, Tracer,
 };
 use lmerge::properties::RLevel;
-use lmerge::temporal::{Element, StreamId, Value};
+use lmerge::temporal::{Element, StreamId, Time, VTime, Value};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
@@ -404,6 +406,120 @@ fn live_scrape_exposes_session_shard_and_alert_series() {
             > 0.0,
         "metered run folded output counts"
     );
+}
+
+/// The executor offers its checkpoint cut *after* staging each query's
+/// next batch, so at every cut a live input has one frame popped from its
+/// ingest ring that the merge image does not contain. The persisted
+/// transport cursor must discount that staged frame — otherwise the
+/// restore handshake skips a frame the merge never saw, and a restarted
+/// server silently drops up to one element per input per crash.
+#[test]
+fn networked_restore_replays_frames_staged_at_the_kill() {
+    // One input; a finite stable every 8 inserts, so each stable advance
+    // offers a checkpoint cut mid-feed.
+    let feed: Vec<TimedElement<Value>> = {
+        let mut v = Vec::new();
+        for i in 0..60u64 {
+            v.push(TimedElement::new(
+                VTime(i * 10),
+                Element::insert(Value::bare(i as i32), i as i64, i as i64 + 5),
+            ));
+            if (i + 1) % 8 == 0 {
+                v.push(TimedElement::new(
+                    VTime(i * 10 + 5),
+                    Element::stable(Time(i as i64)),
+                ));
+            }
+        }
+        v.push(TimedElement::new(VTime(600), Element::stable(Time::INFINITY)));
+        v
+    };
+
+    // Reference: the same feed merged by a process that never dies.
+    let reference = {
+        let queries = vec![Query::new(feed.clone(), Vec::new())];
+        let merge = new_for_level(RLevel::R3, 1, MergePolicy::default());
+        let mut hooks = NetHooks::collector();
+        MergeRun::new(queries, merge, RunConfig::default())
+            .run_with_hooks(&mut lmerge::obs::NullSink, &mut hooks);
+        hooks.into_parts().0
+    };
+
+    let dir = std::env::temp_dir().join(format!("lmerge-netck-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Incarnation 1: checkpoint at every cut through the live transport
+    // cursors, and "die" right after checkpoint 2 lands on disk.
+    let mut server = IngestServer::bind("127.0.0.1:0", IngestConfig::new(1)).expect("bind");
+    let addr = server.local_addr().to_string();
+    let feed1 = feed.clone();
+    let client = thread::spawn(move || {
+        // The merge halts mid-run and the server is then dropped; whether
+        // this session still closed cleanly is irrelevant.
+        let _ = replay(&addr, &feed1, &ReplayConfig::new(0));
+    });
+    let queries: Vec<Query<Value>> = server
+        .sources()
+        .into_iter()
+        .map(|src| Query::from_source(Box::new(src), Vec::new()))
+        .collect();
+    let cursors = server.cursor_handle();
+    let mut ck = DurableCheckpointSink::new(CheckpointStore::create(&dir).expect("store"))
+        .with_cursor_source(Box::new(move || cursors.cursors()))
+        .halt_after(2);
+    let mut hooks = NetHooks::collector();
+    MergeRun::new(
+        queries,
+        new_for_level(RLevel::R3, 1, MergePolicy::default()),
+        RunConfig::default(),
+    )
+    .run_checkpointed(&mut lmerge::obs::NullSink, &mut hooks, &mut ck);
+    assert!(ck.error.is_none(), "{:?}", ck.error);
+    let out1 = hooks.into_parts().0;
+    server.shutdown();
+    client.join().unwrap();
+    drop(server);
+
+    // Incarnation 2: restore the newest checkpoint, pre-seed the resume
+    // handshake from its cursors, and finish with a fresh executor over
+    // the restored merge — the lmerge-ingest --restore-from path.
+    let (seq, image) = CheckpointStore::<Value>::load_latest(&dir).expect("restore");
+    assert_eq!(seq, 2, "died right after checkpoint 2");
+    assert!(
+        image.exec.staged[0].is_some(),
+        "the kill landed between staging and delivery"
+    );
+    let mut server = IngestServer::bind("127.0.0.1:0", IngestConfig::new(1)).expect("rebind");
+    server.restore_cursors(&image.cursors);
+    let addr = server.local_addr().to_string();
+    let feed2 = feed.clone();
+    let client = thread::spawn(move || {
+        replay_until_clean(&addr, &feed2, &ReplayConfig::new(0), 10).expect("rejoin")
+    });
+    let queries: Vec<Query<Value>> = server
+        .sources()
+        .into_iter()
+        .map(|src| Query::from_source(Box::new(src), Vec::new()))
+        .collect();
+    let mut merge = new_for_level(RLevel::R3, 1, MergePolicy::default());
+    assert!(merge.restore_state(image.merge), "image matches the level");
+    let mut hooks = NetHooks::collector();
+    MergeRun::new(queries, merge, RunConfig::default())
+        .run_with_hooks(&mut lmerge::obs::NullSink, &mut hooks);
+    server.await_sessions_closed(std::time::Duration::from_secs(5));
+    let outcome = client.join().unwrap();
+    assert!(outcome.clean);
+    let out2 = hooks.into_parts().0;
+    server.shutdown();
+
+    // Exactly-once across the crash: what incarnation 1 emitted, then
+    // what incarnation 2 emitted, must equal the never-killed run's
+    // output — nothing lost (the staged frame!) and nothing duplicated.
+    let mut stitched = out1;
+    stitched.extend(out2);
+    assert_eq!(stitched, reference, "restart lost or duplicated output");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
