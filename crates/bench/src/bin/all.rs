@@ -14,4 +14,5 @@ fn main() {
     lmerge_bench::figs::ablation::report().emit();
     lmerge_bench::figs::shard_scaling::report().emit();
     lmerge_bench::figs::checkpoint_overhead::report().emit();
+    lmerge_bench::figs::sub_scaling::report().emit();
 }

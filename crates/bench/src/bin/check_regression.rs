@@ -25,7 +25,11 @@
 //!   drive (same committed-file discipline);
 //! * the checkpoint-overhead bar — the committed
 //!   `BENCH_checkpoint_overhead.json` must show checkpointed throughput
-//!   at least 0.90x the bare drive (same committed-file discipline).
+//!   at least 0.90x the bare drive (same committed-file discipline);
+//! * the subscriber fan-out bar — the committed `BENCH_sub_scaling.json`
+//!   must show per-CPU delivery throughput at N=256 of at least
+//!   `eps(N=16) / 1.15`: amortized per-subscriber CPU stays within 15%
+//!   when the fan-out widens 16x (same committed-file discipline).
 //!
 //! Exit status is non-zero on any violation, so the bench-smoke CI job
 //! fails loudly instead of letting perf rot ride along.
@@ -213,6 +217,36 @@ fn check_checkpoint_bar(gate: &mut Gate) -> Result<(), String> {
     Ok(())
 }
 
+/// The committed subscriber fan-out record must clear the acceptance
+/// bar: per-CPU delivery throughput at N=256 subscribers at least
+/// `1/1.15` of the N=16 point — i.e. amortized per-subscriber CPU grows
+/// at most 15% across a 16x fan-out widening.
+fn check_sub_scaling_bar(gate: &mut Gate) -> Result<(), String> {
+    let base = load_baseline("sub_scaling")?;
+    let eps = |label: &str| {
+        base.iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, m)| m.throughput_eps)
+            .ok_or_else(|| format!("BENCH_sub_scaling.json: no {label} record"))
+    };
+    let n16 = eps("sub@N16")?;
+    let n256 = eps("sub@N256")?;
+    gate.checked += 1;
+    let ratio = if n16 > 0.0 { n256 / n16 } else { 0.0 };
+    if ratio < 1.0 / 1.15 {
+        gate.violations.push(format!(
+            "sub_scaling: committed N256/N16 per-CPU delivery ratio {ratio:.3} \
+             below the 1/1.15 bar (per-subscriber CPU grew more than 15%)"
+        ));
+    } else {
+        println!(
+            "sub_scaling: committed N256/N16 delivery ratio {ratio:.3} (bar: {:.3})",
+            1.0 / 1.15
+        );
+    }
+    Ok(())
+}
+
 fn main() {
     println!("regenerating checked figures at default scale...");
     let fig2 = lmerge_bench::figs::fig2::report();
@@ -220,6 +254,7 @@ fn main() {
     let net = lmerge_bench::figs::net_loopback::report();
     let obs = lmerge_bench::figs::obs_overhead::report();
     let ck = lmerge_bench::figs::checkpoint_overhead::report();
+    let sub = lmerge_bench::figs::sub_scaling::report();
 
     let mut gate = Gate {
         violations: Vec::new(),
@@ -232,6 +267,7 @@ fn main() {
         ("net_loopback", &net),
         ("obs_overhead", &obs),
         ("checkpoint_overhead", &ck),
+        ("sub_scaling", &sub),
     ] {
         if let Err(e) = gate.diff(id, fresh) {
             errors.push(e);
@@ -244,6 +280,9 @@ fn main() {
         errors.push(e);
     }
     if let Err(e) = check_checkpoint_bar(&mut gate) {
+        errors.push(e);
+    }
+    if let Err(e) = check_sub_scaling_bar(&mut gate) {
         errors.push(e);
     }
 

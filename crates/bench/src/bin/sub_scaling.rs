@@ -1,0 +1,6 @@
+//! Regenerates the subscriber fan-out scaling result. See
+//! `lmerge_bench::figs::sub_scaling`.
+
+fn main() {
+    lmerge_bench::figs::sub_scaling::report().emit();
+}

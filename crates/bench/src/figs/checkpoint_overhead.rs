@@ -21,7 +21,7 @@ use crate::report::{fmt_eps, MetricsRecord};
 use crate::{scale_events, Report};
 use lmerge_core::{LMergeR3, LogicalMerge};
 use lmerge_durable::CheckpointStore;
-use lmerge_engine::{ExecutorImage, RunImage};
+use lmerge_engine::{EgressImage, ExecutorImage, RunImage};
 use lmerge_gen::{assign_times, generate, GenConfig};
 use lmerge_temporal::{Element, StreamId, Time, VTime, Value};
 use std::path::PathBuf;
@@ -119,6 +119,7 @@ fn cut(n: u64, lm: &mut LMergeR3<Value>) -> RunImage<Value> {
             staged: Vec::new(),
         },
         cursors: Vec::new(),
+        egress: EgressImage::default(),
     }
 }
 

@@ -32,12 +32,12 @@
 use crate::codec::{envelope, open_envelope, put_count, Cursor, DurableError, FileKind};
 use crate::fsutil::{remove_temp_files, write_atomic};
 use crate::image::{
-    get_entry, get_exec_image, get_merge_image, get_run_image, put_entry, put_exec_image,
-    put_merge_image, put_run_image,
+    get_egress_image, get_entry, get_exec_image, get_merge_image, get_run_image, put_egress_image,
+    put_entry, put_exec_image, put_merge_image, put_run_image,
 };
 use crate::payload::DurablePayload;
 use lmerge_core::{MergeStateImage, StateEntry};
-use lmerge_engine::{CheckpointSave, CheckpointSink, RunImage};
+use lmerge_engine::{CheckpointSave, CheckpointSink, EgressImage, RunImage};
 use lmerge_temporal::Time;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -190,6 +190,9 @@ fn encode_delta<P: DurablePayload>(
         payload.extend_from_slice(&next_seq.to_le_bytes());
         payload.extend_from_slice(&acked.to_le_bytes());
     }
+    // The egress image is stored in full: its retained tail is already a
+    // compact byte log bounded by the subscribers' acked cursors.
+    put_egress_image(&mut payload, &new.egress);
     put_merge_image(&mut payload, &skeleton(&new.merge));
     let old_idx = indexes(&base.merge);
     let new_idx = indexes(&new.merge);
@@ -225,6 +228,7 @@ fn apply_delta<P: DurablePayload>(
         let next_seq = cur.u64()?;
         cursors.push((next_seq, cur.i64()?));
     }
+    let egress = get_egress_image(&mut cur)?;
     let mut merge = get_merge_image::<P>(&mut cur)?;
     if !same_structure(&merge, &base.merge) {
         return Err(DurableError::Corrupt("delta structure mismatch"));
@@ -262,6 +266,7 @@ fn apply_delta<P: DurablePayload>(
             merge,
             exec,
             cursors,
+            egress,
         },
     ))
 }
@@ -526,6 +531,7 @@ pub struct DurableCheckpointSink<P: DurablePayload> {
     halt_at: Option<u64>,
     cursors: Vec<(u64, i64)>,
     cursor_source: Option<CursorSource>,
+    egress_source: Option<EgressSource>,
     /// First persistence error, if any.
     pub error: Option<DurableError>,
 }
@@ -533,6 +539,12 @@ pub struct DurableCheckpointSink<P: DurablePayload> {
 /// Supplier of live transport resume cursors `(consumed frames, acked
 /// stable)` per input, polled at every save.
 pub type CursorSource = Box<dyn Fn() -> Vec<(u64, i64)> + Send>;
+
+/// Supplier of the live egress/broadcast image (subscriber cursors plus
+/// the retained output tail), polled at every save. Because the broadcast
+/// publisher runs on the executor thread, the polled image is exactly
+/// consistent with the cut being saved.
+pub type EgressSource = Box<dyn Fn() -> EgressImage + Send>;
 
 impl<P: DurablePayload> DurableCheckpointSink<P> {
     /// Wrap a store. `last_stable` starts at the store's restored base
@@ -550,6 +562,7 @@ impl<P: DurablePayload> DurableCheckpointSink<P> {
             halt_at: None,
             cursors: Vec::new(),
             cursor_source: None,
+            egress_source: None,
             error: None,
         }
     }
@@ -573,6 +586,14 @@ impl<P: DurablePayload> DurableCheckpointSink<P> {
     #[must_use]
     pub fn with_cursor_source(mut self, source: CursorSource) -> DurableCheckpointSink<P> {
         self.cursor_source = Some(source);
+        self
+    }
+
+    /// Poll `source` for the live egress/broadcast image at every save —
+    /// a subscription server's `egress_handle()` is the natural source.
+    #[must_use]
+    pub fn with_egress_source(mut self, source: EgressSource) -> DurableCheckpointSink<P> {
+        self.egress_source = Some(source);
         self
     }
 
@@ -613,6 +634,9 @@ impl<P: DurablePayload> CheckpointSink<P> for DurableCheckpointSink<P> {
                     cursor.0 = cursor.0.saturating_sub(1);
                 }
             }
+        }
+        if let Some(source) = &self.egress_source {
+            image.egress = source();
         }
         match self.store.save(&image) {
             Ok((seq, delta)) => CheckpointSave {
@@ -663,6 +687,13 @@ mod tests {
                 staged: vec![None],
             },
             cursors: vec![(delivered, stable)],
+            egress: EgressImage {
+                cursors: vec![(1, delivered)],
+                base_seq: delivered,
+                next_seq: delivered,
+                stable: Time(stable),
+                frames: Vec::new(),
+            },
         }
     }
 
@@ -860,7 +891,11 @@ mod tests {
         std::fs::write(dir.join("ck-00000009-snap.lmck.tmp"), b"partial").unwrap();
         std::fs::write(dir.join(file_name(1, true)), b"garbage").unwrap();
         let store: CheckpointStore<i32> = CheckpointStore::create(&dir).unwrap();
-        assert_eq!(store.next_seq(), 1, "numbering continues after the recovered cut");
+        assert_eq!(
+            store.next_seq(),
+            1,
+            "numbering continues after the recovered cut"
+        );
         let mut names: Vec<String> = std::fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().file_name().into_string().unwrap())

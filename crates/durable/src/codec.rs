@@ -15,8 +15,9 @@ use lmerge_core::hash::fnv1a;
 /// Magic bytes opening every durable file.
 pub const MAGIC: [u8; 4] = *b"LMCK";
 
-/// Current format version.
-pub const VERSION: u16 = 1;
+/// Current format version. v2 appended the egress/broadcast image
+/// (subscriber cursors + retained output tail) to every run image.
+pub const VERSION: u16 = 2;
 
 /// What a durable file contains.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -10,7 +10,7 @@
 use crate::codec::{put_count, Cursor, DurableError};
 use crate::payload::DurablePayload;
 use lmerge_core::{CountersImage, InputStateImage, MergeStateImage, StateEntry, VariantKind};
-use lmerge_engine::{ExecutorImage, RunImage};
+use lmerge_engine::{EgressImage, ExecutorImage, RunImage};
 use lmerge_temporal::{Time, VTime};
 
 /// Sharded images nest per-shard images; one level is all the core layer
@@ -291,7 +291,45 @@ pub fn get_exec_image(cur: &mut Cursor<'_>) -> Result<ExecutorImage, DurableErro
     })
 }
 
-/// Append a [`RunImage`]: merge image, executor image, net cursors.
+/// Append an [`EgressImage`]: subscriber cursors plus the retained
+/// wire-encoded output tail (already bytes — stored verbatim).
+pub fn put_egress_image(buf: &mut Vec<u8>, img: &EgressImage) {
+    put_count(buf, img.cursors.len());
+    for (subscriber, acked) in &img.cursors {
+        buf.extend_from_slice(&subscriber.to_le_bytes());
+        buf.extend_from_slice(&acked.to_le_bytes());
+    }
+    buf.extend_from_slice(&img.base_seq.to_le_bytes());
+    buf.extend_from_slice(&img.next_seq.to_le_bytes());
+    put_time(buf, img.stable);
+    put_count(buf, img.frames.len());
+    buf.extend_from_slice(&img.frames);
+}
+
+/// Decode an [`EgressImage`].
+pub fn get_egress_image(cur: &mut Cursor<'_>) -> Result<EgressImage, DurableError> {
+    let n = cur.count(16)?;
+    let mut cursors = Vec::with_capacity(n);
+    for _ in 0..n {
+        let subscriber = cur.u64()?;
+        cursors.push((subscriber, cur.u64()?));
+    }
+    let base_seq = cur.u64()?;
+    let next_seq = cur.u64()?;
+    let stable = get_time(cur)?;
+    let n = cur.count(1)?;
+    let frames = cur.take(n)?.to_vec();
+    Ok(EgressImage {
+        cursors,
+        base_seq,
+        next_seq,
+        stable,
+        frames,
+    })
+}
+
+/// Append a [`RunImage`]: merge image, executor image, net cursors, and
+/// the egress/broadcast image.
 pub fn put_run_image<P: DurablePayload>(buf: &mut Vec<u8>, img: &RunImage<P>) {
     put_merge_image(buf, &img.merge);
     put_exec_image(buf, &img.exec);
@@ -300,6 +338,7 @@ pub fn put_run_image<P: DurablePayload>(buf: &mut Vec<u8>, img: &RunImage<P>) {
         buf.extend_from_slice(&next_seq.to_le_bytes());
         buf.extend_from_slice(&acked.to_le_bytes());
     }
+    put_egress_image(buf, &img.egress);
 }
 
 /// Decode a [`RunImage`].
@@ -312,10 +351,12 @@ pub fn get_run_image<P: DurablePayload>(cur: &mut Cursor<'_>) -> Result<RunImage
         let next_seq = cur.u64()?;
         cursors.push((next_seq, cur.i64()?));
     }
+    let egress = get_egress_image(cur)?;
     Ok(RunImage {
         merge,
         exec,
         cursors,
+        egress,
     })
 }
 
@@ -394,6 +435,13 @@ mod tests {
                 staged: vec![Some((VTime(1300), 90)), None],
             },
             cursors: vec![(40, 17), (37, 13)],
+            egress: EgressImage {
+                cursors: vec![(7, 12), (1001, 9)],
+                base_seq: 9,
+                next_seq: 14,
+                stable: Time(13),
+                frames: vec![0xAB; 40],
+            },
         };
         let mut buf = Vec::new();
         put_run_image(&mut buf, &run);
@@ -403,6 +451,7 @@ mod tests {
         assert_eq!(back.merge, run.merge);
         assert_eq!(back.exec, run.exec);
         assert_eq!(back.cursors, run.cursors);
+        assert_eq!(back.egress, run.egress);
     }
 
     #[test]

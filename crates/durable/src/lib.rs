@@ -34,7 +34,10 @@ pub mod image;
 pub mod payload;
 pub mod spill;
 
-pub use checkpoint::{CheckpointStore, DurableCheckpointSink, Recovery, DEFAULT_SNAPSHOT_EVERY};
+pub use checkpoint::{
+    CheckpointStore, CursorSource, DurableCheckpointSink, EgressSource, Recovery,
+    DEFAULT_SNAPSHOT_EVERY,
+};
 pub use codec::{envelope, open_envelope, Cursor, DurableError, FileKind, MAGIC, VERSION};
 pub use image::{get_merge_image, get_run_image, put_merge_image, put_run_image};
 pub use payload::DurablePayload;

@@ -52,6 +52,38 @@ pub struct ExecutorImage {
     pub staged: Vec<Option<(VTime, u64)>>,
 }
 
+/// The egress/broadcast side of a cut: subscriber resume cursors plus the
+/// retained tail of the wire-encoded output stream. Payload-agnostic by
+/// design — the frames are already serialized bytes, so the engine can
+/// carry them through a checkpoint without knowing the subscription
+/// layer's types. Empty (`base_seq == next_seq`, no cursors) for runs
+/// without subscribers; the executor carries it through untouched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EgressImage {
+    /// Per-subscriber resume cursors — `(subscriber id, acked next seq)`.
+    pub cursors: Vec<(u64, u64)>,
+    /// Global output sequence of the first frame in `frames`.
+    pub base_seq: u64,
+    /// Global output sequence the broadcast publisher assigns next.
+    pub next_seq: u64,
+    /// The output stable point the broadcast buffer had reached.
+    pub stable: Time,
+    /// Retained wire-encoded `Data` frames covering `[base_seq, next_seq)`.
+    pub frames: Vec<u8>,
+}
+
+impl Default for EgressImage {
+    fn default() -> EgressImage {
+        EgressImage {
+            cursors: Vec::new(),
+            base_seq: 0,
+            next_seq: 0,
+            stable: Time::MIN,
+            frames: Vec::new(),
+        }
+    }
+}
+
 /// One consistent, restorable cut through a run.
 #[derive(Clone, Debug)]
 pub struct RunImage<P: Payload> {
@@ -64,6 +96,9 @@ pub struct RunImage<P: Payload> {
     /// server can replay each session from the acked point. Empty for
     /// in-process runs; the executor carries it through untouched.
     pub cursors: Vec<(u64, i64)>,
+    /// The output-side mirror of `cursors`: subscriber resume state and
+    /// the undelivered egress tail.
+    pub egress: EgressImage,
 }
 
 /// What a [`CheckpointSink::save`] did with the offered image.

@@ -17,7 +17,9 @@
 //! `enabled()` is statically `false` — monomorphizes the whole
 //! instrumentation path away.
 
-use crate::durability::{CheckpointSink, ExecutorImage, NoCheckpoint, RunImage, SpillNotices};
+use crate::durability::{
+    CheckpointSink, EgressImage, ExecutorImage, NoCheckpoint, RunImage, SpillNotices,
+};
 use crate::hooks::{ControlAction, FaultAction, NoHooks, RunHooks};
 use crate::metrics::{RunMetrics, Series};
 use crate::query::Query;
@@ -666,6 +668,7 @@ impl<P: Payload> MergeRun<P> {
                                 .collect(),
                         },
                         cursors: Vec::new(),
+                        egress: EgressImage::default(),
                     };
                     let saved = sink.save(image);
                     if trace.enabled() {

@@ -33,7 +33,8 @@ pub mod query;
 pub mod spsc;
 
 pub use durability::{
-    CheckpointSave, CheckpointSink, ExecutorImage, NoCheckpoint, RunImage, SpillNotices,
+    CheckpointSave, CheckpointSink, EgressImage, ExecutorImage, NoCheckpoint, RunImage,
+    SpillNotices,
 };
 pub use executor::{MergeRun, RunConfig};
 pub use hooks::{ControlAction, FaultAction, NoHooks, RunHooks};

@@ -21,9 +21,16 @@ use std::sync::{Arc, Mutex};
 
 /// A hooks wrapper that captures the merged output stream and optionally
 /// serializes it to a writer as wire `Data` frames.
+///
+/// Collection is opt-in: [`NetHooks::collector`] and [`NetHooks::wrap`]
+/// retain every emitted element for the caller to inspect afterwards,
+/// while [`NetHooks::streaming`] only forwards/serializes — a long-lived
+/// server egress must not grow an unbounded `Vec` over an unbounded run.
 pub struct NetHooks<H> {
     inner: H,
     out: Vec<Element<Value>>,
+    collect: bool,
+    emitted: u64,
     egress: Option<Box<dyn Write + Send>>,
     seq: u64,
 }
@@ -42,9 +49,20 @@ impl<H: RunHooks<Value>> NetHooks<H> {
         NetHooks {
             inner,
             out: Vec::new(),
+            collect: true,
+            emitted: 0,
             egress: None,
             seq: 0,
         }
+    }
+
+    /// Wrap `inner` without retaining the output: elements are counted,
+    /// forwarded, and (with an egress writer) serialized, but never
+    /// accumulated. The memory footprint stays flat however long the run.
+    pub fn streaming(inner: H) -> NetHooks<H> {
+        let mut h = NetHooks::wrap(inner);
+        h.collect = false;
+        h
     }
 
     /// Also serialize every emitted element as a wire `Data` frame to `w`.
@@ -54,9 +72,15 @@ impl<H: RunHooks<Value>> NetHooks<H> {
         self
     }
 
-    /// The merged output collected so far, in emission order.
+    /// The merged output collected so far, in emission order (always
+    /// empty in streaming mode).
     pub fn output(&self) -> &[Element<Value>] {
         &self.out
+    }
+
+    /// Total elements emitted through this wrapper, collected or not.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
     }
 
     /// Consume the wrapper, returning the collected output and the inner
@@ -95,7 +119,10 @@ impl<H: RunHooks<Value>> RunHooks<Value> for NetHooks<H> {
         delivered: &[Element<Value>],
         emitted: &[Element<Value>],
     ) {
-        self.out.extend_from_slice(emitted);
+        self.emitted += emitted.len() as u64;
+        if self.collect {
+            self.out.extend_from_slice(emitted);
+        }
         if let Some(w) = &mut self.egress {
             for e in emitted {
                 let frame = Frame::Data {
@@ -219,6 +246,23 @@ mod tests {
                 element: s
             }
         );
+    }
+
+    #[test]
+    fn streaming_mode_never_allocates_the_collection_vec() {
+        let buf = SharedBuf::new();
+        let mut h = NetHooks::streaming(NoHooks).with_egress(Box::new(buf.clone()));
+        let a = Element::insert(Value::bare(9), 0, 5);
+        for i in 0..10_000u64 {
+            h.on_consumed(0, VTime(i), &[], std::slice::from_ref(&a));
+        }
+        // The memory pin: 10k emitted elements, zero retained — the out
+        // vector never even allocated its first block.
+        assert_eq!(h.emitted(), 10_000);
+        assert!(h.output().is_empty());
+        assert_eq!(h.out.capacity(), 0, "streaming must not retain output");
+        // …while the egress stream still carries every frame.
+        assert_eq!(buf.frames().expect("egress decodes").len(), 10_000);
     }
 
     #[test]

@@ -63,6 +63,7 @@ mod tag {
     pub const CREDIT: u8 = 6;
     pub const ACK: u8 = 7;
     pub const BYE: u8 = 8;
+    pub const SUBSCRIBE: u8 = 9;
 }
 
 /// Typed decode/transport failure. Every hostile input maps here; the
@@ -178,6 +179,26 @@ pub enum Frame {
     },
     /// Clean end of stream (either direction).
     Bye,
+    /// Client → egress server: open a subscription to the merged output.
+    ///
+    /// The symmetric mirror of [`Frame::Hello`]: the server answers with a
+    /// [`Frame::Welcome`] whose `resume_seq` is the first output sequence
+    /// it will actually send (clamped up to the compaction horizon when
+    /// the requested prefix is gone), then streams [`Frame::Data`] frames
+    /// against the subscriber's credits.
+    Subscribe {
+        /// The protocol version the subscriber speaks.
+        protocol: u16,
+        /// The subscriber's stable identity (cursor key across rejoins).
+        subscriber: u64,
+        /// Index of the filter class this session wants.
+        filter: u32,
+        /// First output sequence the subscriber still needs (0 = from the
+        /// top; a rejoining subscriber skips everything below this).
+        resume_from: u64,
+        /// Initial frame credits the subscriber grants the server.
+        credits: u32,
+    },
 }
 
 fn put_u16(buf: &mut Vec<u8>, v: u16) {
@@ -257,6 +278,7 @@ impl Frame {
             Frame::Credit { .. } => tag::CREDIT,
             Frame::Ack { .. } => tag::ACK,
             Frame::Bye => tag::BYE,
+            Frame::Subscribe { .. } => tag::SUBSCRIBE,
         }
     }
 
@@ -312,6 +334,19 @@ impl Frame {
                 put_i64(buf, stable.0);
             }
             Frame::Bye => {}
+            Frame::Subscribe {
+                protocol,
+                subscriber,
+                filter,
+                resume_from,
+                credits,
+            } => {
+                put_u16(buf, *protocol);
+                put_u64(buf, *subscriber);
+                put_u32(buf, *filter);
+                put_u64(buf, *resume_from);
+                put_u32(buf, *credits);
+            }
         }
     }
 }
@@ -395,6 +430,13 @@ fn parse_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
             stable: Time(c.i64()?),
         },
         tag::BYE => Frame::Bye,
+        tag::SUBSCRIBE => Frame::Subscribe {
+            protocol: c.u16()?,
+            subscriber: c.u64()?,
+            filter: c.u32()?,
+            resume_from: c.u64()?,
+            credits: c.u32()?,
+        },
         t => return Err(WireError::UnknownType(t)),
     };
     c.done()?;
@@ -426,7 +468,7 @@ fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), WireError> {
         return Err(WireError::BadVersion(version));
     }
     let frame_type = header[6];
-    if !(tag::HELLO..=tag::BYE).contains(&frame_type) {
+    if !(tag::HELLO..=tag::SUBSCRIBE).contains(&frame_type) {
         return Err(WireError::UnknownType(frame_type));
     }
     if header[7] != 0 {
@@ -563,6 +605,13 @@ mod tests {
                 stable: Time(40),
             },
             Frame::Bye,
+            Frame::Subscribe {
+                protocol: PROTOCOL_VERSION,
+                subscriber: 17,
+                filter: 2,
+                resume_from: 4096,
+                credits: 128,
+            },
         ]
     }
 

@@ -76,7 +76,7 @@ fn bad_version_is_rejected() {
 
 #[test]
 fn unknown_type_is_rejected() {
-    for bad in [0u8, 9, 200] {
+    for bad in [0u8, 10, 200] {
         let mut bytes = valid_frame();
         bytes[6] = bad;
         fix_checksum(&mut bytes);

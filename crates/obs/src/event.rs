@@ -371,6 +371,40 @@ pub enum TraceEvent {
         /// Entries written to the sorted run.
         entries: u64,
     },
+    /// An egress subscription session opened (subscribe accepted): one
+    /// remote consumer is now tailing the merged output.
+    SubSessionOpened {
+        /// The resume sequence carried as a virtual timestamp (subscriber
+        /// sessions live on the output-seq axis, not input virtual time).
+        at: VTime,
+        /// The subscriber's stable identity.
+        subscriber: u64,
+        /// First output sequence the session will actually send — the
+        /// client's `resume_from`, possibly clamped up to the compaction
+        /// horizon.
+        resume_seq: u64,
+    },
+    /// An egress subscription session ended (clean `bye` or loss).
+    SubSessionClosed {
+        /// The last output sequence sent, as a virtual timestamp.
+        at: VTime,
+        /// The subscriber's stable identity.
+        subscriber: u64,
+        /// Whether the close was a clean `bye` handshake.
+        clean: bool,
+    },
+    /// One sealed output epoch was delivered to one subscriber (after
+    /// filtering; the shared segment is written once and fanned out).
+    SubEpochDelivered {
+        /// The epoch's base output sequence, as a virtual timestamp.
+        at: VTime,
+        /// The receiving subscriber.
+        subscriber: u64,
+        /// The epoch index in the broadcast buffer.
+        epoch: u64,
+        /// Frames actually sent after the session's filter.
+        frames: u32,
+    },
 }
 
 impl TraceEvent {
@@ -396,7 +430,10 @@ impl TraceEvent {
             | TraceEvent::AlertResolved { at, .. }
             | TraceEvent::CheckpointTaken { at, .. }
             | TraceEvent::CheckpointRestored { at, .. }
-            | TraceEvent::StateSpilled { at, .. } => at,
+            | TraceEvent::StateSpilled { at, .. }
+            | TraceEvent::SubSessionOpened { at, .. }
+            | TraceEvent::SubSessionClosed { at, .. }
+            | TraceEvent::SubEpochDelivered { at, .. } => at,
         }
     }
 
@@ -423,6 +460,9 @@ impl TraceEvent {
             TraceEvent::CheckpointTaken { .. } => "checkpoint_taken",
             TraceEvent::CheckpointRestored { .. } => "checkpoint_restored",
             TraceEvent::StateSpilled { .. } => "state_spilled",
+            TraceEvent::SubSessionOpened { .. } => "sub_session_opened",
+            TraceEvent::SubSessionClosed { .. } => "sub_session_closed",
+            TraceEvent::SubEpochDelivered { .. } => "sub_epoch_delivered",
         }
     }
 }

@@ -134,6 +134,29 @@ fn event_json(e: &TraceEvent) -> Json {
         TraceEvent::StateSpilled { input, entries, .. } => {
             obj.set("input", input).set("entries", entries);
         }
+        TraceEvent::SubSessionOpened {
+            subscriber,
+            resume_seq,
+            ..
+        } => {
+            obj.set("subscriber", subscriber)
+                .set("resume_seq", resume_seq);
+        }
+        TraceEvent::SubSessionClosed {
+            subscriber, clean, ..
+        } => {
+            obj.set("subscriber", subscriber).set("clean", clean);
+        }
+        TraceEvent::SubEpochDelivered {
+            subscriber,
+            epoch,
+            frames,
+            ..
+        } => {
+            obj.set("subscriber", subscriber)
+                .set("epoch", epoch)
+                .set("frames", frames);
+        }
     }
     obj
 }
@@ -176,6 +199,16 @@ const SHARD_TID_BASE: u32 = 1000;
 /// (handshakes, credits, ring depth) visually separate from the same
 /// input's virtual-time delivery lane.
 const NET_TID_BASE: u32 = 2000;
+
+/// Subscriber lanes render above the net lanes: subscriber `s`'s egress
+/// session is thread `SUB_TID_BASE + s` (ids are folded into the lane
+/// window so a million-subscriber run still renders).
+const SUB_TID_BASE: u32 = 3000;
+
+/// Fold a subscriber id into its chrome lane.
+fn sub_tid(subscriber: u64) -> u32 {
+    SUB_TID_BASE + (subscriber % 1000) as u32
+}
 
 fn chrome_instant(name: &str, ts: u64, tid: u32, args: Json) -> Json {
     Json::object()
@@ -442,6 +475,60 @@ pub fn to_chrome_trace<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> Stri
                     ts,
                     input + 1,
                     Json::object().with("entries", entries),
+                ));
+            }
+            TraceEvent::SubSessionOpened {
+                subscriber,
+                resume_seq,
+                ..
+            } => {
+                name_thread(
+                    &mut trace,
+                    sub_tid(subscriber),
+                    format!("subscriber {subscriber}"),
+                );
+                trace.push(chrome_instant(
+                    "subscribe",
+                    ts,
+                    sub_tid(subscriber),
+                    Json::object().with("resume_seq", resume_seq),
+                ));
+            }
+            TraceEvent::SubSessionClosed {
+                subscriber, clean, ..
+            } => {
+                name_thread(
+                    &mut trace,
+                    sub_tid(subscriber),
+                    format!("subscriber {subscriber}"),
+                );
+                trace.push(chrome_instant(
+                    if clean {
+                        "subscriber close"
+                    } else {
+                        "subscriber lost"
+                    },
+                    ts,
+                    sub_tid(subscriber),
+                    Json::object().with("clean", clean),
+                ));
+            }
+            TraceEvent::SubEpochDelivered {
+                subscriber,
+                epoch,
+                frames,
+                ..
+            } => {
+                name_thread(
+                    &mut trace,
+                    sub_tid(subscriber),
+                    format!("subscriber {subscriber}"),
+                );
+                trace.push(chrome_instant(
+                    &format!("epoch {epoch}"),
+                    ts,
+                    sub_tid(subscriber),
+                    Json::object().with("epoch", epoch).with("frames", frames),
                 ));
             }
         }

@@ -900,6 +900,12 @@ impl EngineMetrics {
                 self.spills.inc();
                 self.spilled_entries.add(entries);
             }
+            // Subscription sessions keep their own registry series
+            // (`SubMetrics` in `lmerge-sub`); the engine bridge stays
+            // pinned to its golden exposition.
+            TraceEvent::SubSessionOpened { .. }
+            | TraceEvent::SubSessionClosed { .. }
+            | TraceEvent::SubEpochDelivered { .. } => {}
         }
     }
 }

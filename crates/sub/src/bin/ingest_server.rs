@@ -1,28 +1,33 @@
 //! `lmerge-ingest`: bind an ingest server, merge N networked inputs, and
-//! write the merged stream (as wire `Data` frames) to a file.
+//! fan the merged stream out — to a file, and/or live to subscribers.
 //!
 //! ```text
 //! lmerge-ingest --addr 127.0.0.1:7171 --inputs 3 --level r3 --out merged.bin \
-//!     --metrics 127.0.0.1:9901
+//!     --subscribe 127.0.0.1:7172 --filter mod:2:0 --metrics 127.0.0.1:9901
 //! ```
 //!
-//! The process exits once every input has delivered a clean `Bye` and the
-//! merge has drained, printing a run summary (elements emitted, per-input
-//! session/credit gauges) to stdout. With `--metrics` a Prometheus scrape
-//! endpoint runs for the life of the process, exposing the live wall-clock
-//! series (per-session net counters, engine gauges, SLO alert state) —
-//! point `lmerge-top` or `curl` at it mid-run.
+//! The process exits once every input has delivered a clean `Bye`, the
+//! merge has drained, and subscriber sessions have finished their close
+//! handshakes, printing a run summary to stdout. With `--metrics` a
+//! Prometheus scrape endpoint runs for the life of the process (ingest
+//! *and* subscriber series). `--subscribe HOST:PORT` serves the merged
+//! output live through the epoch-batched broadcast buffer; `--filter
+//! SPEC` (repeatable; `all`, `mod:M:R`, `range:LO:HI`) adds filter
+//! classes subscribers can pick — class 0 is always the full stream.
 //!
 //! `--checkpoint-to DIR` captures a durable checkpoint (merge + executor
-//! image + per-input transport cursors) at every finite advance of the
-//! output stable point. After a crash, `--restore-from DIR` rebuilds the
-//! merge from the newest checkpoint and pre-seeds the resume handshake so
-//! reconnecting replayers re-send only what the lost process had not
-//! durably consumed.
+//! image + per-input transport cursors + the broadcast buffer's retained
+//! window and subscriber cursors) at every finite advance of the output
+//! stable point. After a crash, `--restore-from DIR` rebuilds the merge
+//! *and* the broadcast buffer from the newest checkpoint, so both
+//! rejoining replayers and reconnecting subscribers resume exactly-once.
 
 use lmerge_core::{new_for_level, MergePolicy};
 use lmerge_durable::{CheckpointStore, DurableCheckpointSink};
-use lmerge_engine::{MergeRun, NoCheckpoint, Query, RunConfig, RunImage};
+use lmerge_engine::{
+    ControlAction, FaultAction, MergeRun, NoCheckpoint, NoHooks, Query, RunConfig, RunHooks,
+    RunImage,
+};
 use lmerge_net::egress::NetHooks;
 use lmerge_net::server::{IngestConfig, IngestServer};
 use lmerge_obs::{
@@ -30,7 +35,8 @@ use lmerge_obs::{
     ScrapeAlerts, TraceEvent, TraceSink, Tracer,
 };
 use lmerge_properties::RLevel;
-use lmerge_temporal::Value;
+use lmerge_sub::{BroadcastHooks, EpochBuffer, SubConfig, SubFilter, SubPolicy, SubServer};
+use lmerge_temporal::{Element, VTime, Value};
 use std::io::BufWriter;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
@@ -45,6 +51,10 @@ struct Args {
     metrics: Option<String>,
     checkpoint_to: Option<String>,
     restore_from: Option<String>,
+    subscribe: Option<String>,
+    filters: Vec<SubFilter>,
+    sub_max_lag: u64,
+    sub_retain_min: u64,
 }
 
 fn parse_level(s: &str) -> Option<RLevel> {
@@ -69,6 +79,10 @@ fn parse_args() -> Result<Args, String> {
         metrics: None,
         checkpoint_to: None,
         restore_from: None,
+        subscribe: None,
+        filters: vec![SubFilter::All],
+        sub_max_lag: u64::MAX,
+        sub_retain_min: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -98,16 +112,77 @@ fn parse_args() -> Result<Args, String> {
             "--metrics" => args.metrics = Some(value("--metrics")?),
             "--checkpoint-to" => args.checkpoint_to = Some(value("--checkpoint-to")?),
             "--restore-from" => args.restore_from = Some(value("--restore-from")?),
+            "--subscribe" => args.subscribe = Some(value("--subscribe")?),
+            "--filter" => {
+                let s = value("--filter")?;
+                args.filters
+                    .push(SubFilter::parse(&s).ok_or(format!("--filter: bad spec {s:?}"))?);
+            }
+            "--sub-max-lag" => {
+                args.sub_max_lag = value("--sub-max-lag")?
+                    .parse()
+                    .map_err(|e| format!("--sub-max-lag: {e}"))?
+            }
+            "--sub-retain-min" => {
+                args.sub_retain_min = value("--sub-retain-min")?
+                    .parse()
+                    .map_err(|e| format!("--sub-retain-min: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: lmerge-ingest [--addr HOST:PORT] [--inputs N] \
                      [--level r0..r4] [--ring SLOTS] [--credit N] [--out FILE] \
-                     [--metrics HOST:PORT] [--checkpoint-to DIR] [--restore-from DIR]"
+                     [--metrics HOST:PORT] [--checkpoint-to DIR] [--restore-from DIR] \
+                     [--subscribe HOST:PORT] [--filter SPEC]... [--sub-max-lag N] \
+                     [--sub-retain-min N]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     Ok(args)
+}
+
+/// The bin's egress hook: broadcast when `--subscribe` is on, inert
+/// otherwise (no buffer growth when nobody can connect to drain it).
+enum Egress {
+    Broadcast(BroadcastHooks<NoHooks>),
+    Off(NoHooks),
+}
+
+impl RunHooks<Value> for Egress {
+    fn enabled(&self) -> bool {
+        matches!(self, Egress::Broadcast(_))
+    }
+
+    fn on_deliver(
+        &mut self,
+        input: u32,
+        at: VTime,
+        elements: &[Element<Value>],
+    ) -> FaultAction<Value> {
+        match self {
+            Egress::Broadcast(h) => h.on_deliver(input, at, elements),
+            Egress::Off(_) => FaultAction::Deliver,
+        }
+    }
+
+    fn on_consumed(
+        &mut self,
+        input: u32,
+        at: VTime,
+        delivered: &[Element<Value>],
+        emitted: &[Element<Value>],
+    ) {
+        if let Egress::Broadcast(h) = self {
+            h.on_consumed(input, at, delivered, emitted);
+        }
+    }
+
+    fn control(&mut self, at: VTime, actions: &mut Vec<ControlAction<Value>>) {
+        if let Egress::Broadcast(h) = self {
+            h.control(at, actions);
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -141,16 +216,20 @@ fn main() -> ExitCode {
 
     // Restore before any client can connect: the resume handshake's
     // `Welcome` must already carry the checkpoint's consumed-frame
-    // cursors when the first rejoining replayer says `Hello`.
+    // cursors when the first rejoining replayer says `Hello` — and the
+    // broadcast buffer must already hold its retained window and
+    // subscriber cursors when the first subscriber says `Subscribe`.
     let restored: Option<(u64, RunImage<Value>)> = match &args.restore_from {
         Some(dir) => match CheckpointStore::<Value>::load_latest(dir) {
             Ok((seq, image)) => {
                 server.restore_cursors(&image.cursors);
                 println!(
-                    "restored checkpoint {} from {dir} ({} entries, {} input cursors)",
+                    "restored checkpoint {} from {dir} ({} entries, {} input cursors, \
+                     {} subscriber cursors)",
                     seq,
                     image.merge.total_entries(),
-                    image.cursors.len()
+                    image.cursors.len(),
+                    image.egress.cursors.len()
                 );
                 Some((seq, image))
             }
@@ -160,6 +239,50 @@ fn main() -> ExitCode {
             }
         },
         None => None,
+    };
+
+    // The broadcast buffer and subscriber server, when fan-out is on.
+    let sub_policy = SubPolicy {
+        max_lag_epochs: args.sub_max_lag,
+        retain_min_epochs: args.sub_retain_min,
+    };
+    let buf: Option<Arc<EpochBuffer>> = match &args.subscribe {
+        Some(_) => {
+            let buf = match &restored {
+                Some((_, image)) => match EpochBuffer::restore(&image.egress, sub_policy) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("restore broadcast buffer: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => EpochBuffer::new(sub_policy),
+            };
+            Some(Arc::new(buf))
+        }
+        None => None,
+    };
+    let sub_server: Option<SubServer> = match (&args.subscribe, &buf) {
+        (Some(addr), Some(buf)) => {
+            let sub_config = SubConfig {
+                filters: args.filters.clone(),
+            };
+            match SubServer::bind_with_metrics(addr, Arc::clone(buf), sub_config, &registry) {
+                Ok(s) => {
+                    println!(
+                        "subscriptions on {} ({} filter classes)",
+                        s.local_addr(),
+                        args.filters.len()
+                    );
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("subscribe bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => None,
     };
 
     // Alert transitions land in their own tracer: the run tracer is busy
@@ -204,7 +327,14 @@ fn main() -> ExitCode {
         (seq, at, entries)
     });
 
-    let mut hooks = NetHooks::collector();
+    // Streaming, not collecting: a long-lived server must not grow an
+    // unbounded output Vec. The broadcast buffer (bounded by subscriber
+    // cursors) and the optional egress file are the outputs.
+    let egress = match &buf {
+        Some(b) => Egress::Broadcast(BroadcastHooks::wrap(NoHooks, Arc::clone(b))),
+        None => Egress::Off(NoHooks),
+    };
+    let mut hooks = NetHooks::streaming(egress);
     if let Some(path) = &args.out {
         match std::fs::File::create(path) {
             Ok(f) => hooks = hooks.with_egress(Box::new(BufWriter::new(f))),
@@ -231,10 +361,15 @@ fn main() -> ExitCode {
         Some(dir) => match CheckpointStore::create(dir) {
             Ok(store) => {
                 let cursors = server.cursor_handle();
-                Some(
-                    DurableCheckpointSink::new(store)
-                        .with_cursor_source(Box::new(move || cursors.cursors())),
-                )
+                let mut sink = DurableCheckpointSink::new(store)
+                    .with_cursor_source(Box::new(move || cursors.cursors()));
+                if let Some(b) = &buf {
+                    // Polled on the executor thread inside save(), so the
+                    // egress image is exactly consistent with the cut.
+                    let b = Arc::clone(b);
+                    sink = sink.with_egress_source(Box::new(move || b.image()));
+                }
+                Some(sink)
             }
             Err(e) => {
                 eprintln!("checkpoint dir {dir}: {e}");
@@ -249,18 +384,24 @@ fn main() -> ExitCode {
     };
     sink.metrics()
         .set_ring_dropped(sink.inner().ring().dropped());
-    let (out, _) = hooks.into_parts();
+    let emitted = hooks.emitted();
 
     // The merge drains at watermark = ∞, which a paced client reaches
     // while its final `Bye` round trip is still in flight; give the
-    // close handshakes a moment so teardown doesn't sever them.
+    // close handshakes a moment so teardown doesn't sever them. Same for
+    // subscribers: seal the stream first so their sessions see Finished
+    // and run the Bye handshake.
     server.await_sessions_closed(std::time::Duration::from_secs(2));
+    if let Some(b) = &buf {
+        b.finish();
+    }
+    if let Some(s) = &sub_server {
+        s.await_sessions_closed(std::time::Duration::from_secs(5));
+    }
 
     println!(
         "merged {} elements from {} inputs in {} virtual µs",
-        out.len(),
-        args.inputs,
-        metrics.drained_at.0
+        emitted, args.inputs, metrics.drained_at.0
     );
     {
         let session_tracer = server.tracer();
@@ -270,6 +411,21 @@ fn main() -> ExitCode {
                 lag.sessions, lag.clean_closes, lag.credits_granted, lag.max_depth
             );
         }
+    }
+    if let Some(mut s) = sub_server {
+        let opened = registry
+            .sum_value("lmerge_sub_sessions_opened_total")
+            .unwrap_or(0.0);
+        let clean = registry
+            .sum_value("lmerge_sub_session_closes_clean_total")
+            .unwrap_or(0.0);
+        let demotions = registry
+            .sum_value("lmerge_sub_demotions_total")
+            .unwrap_or(0.0);
+        println!(
+            "subscribers: {opened} session(s), {clean} clean close(s), {demotions} demotion(s)"
+        );
+        s.shutdown();
     }
     if args.metrics.is_some() {
         let fired = alert_tracer.lock().unwrap().events().count();

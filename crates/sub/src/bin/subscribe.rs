@@ -1,0 +1,132 @@
+//! `lmerge-subscribe`: attach to a merge's subscription endpoint and
+//! consume the fanned-out output stream.
+//!
+//! ```text
+//! lmerge-subscribe --addr 127.0.0.1:7172 --subscriber 1 --out sub1.bin
+//! ```
+//!
+//! The client speaks the subscriber side of the wire protocol: it sends
+//! `Subscribe { subscriber, filter, resume_from, credits }`, consumes
+//! `Data` frames under its own credit grants, acks its durable cursor at
+//! stable points, and runs the `Bye` handshake at end-of-stream. With
+//! `--attempts N` it reconnects after unclean drops, resuming from the
+//! next unseen sequence — the stitched output is exactly-once, which
+//! `--out FILE` makes checkable byte-for-byte against the server's
+//! `--out` egress file (same canonical `Data`-frame encoding).
+//! `--kill-after N` simulates a subscriber crash for resume drills.
+
+use lmerge_sub::{subscribe, subscribe_until_finished, SubscribeConfig};
+use std::io::Write;
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    subscriber: u64,
+    filter: u32,
+    resume_from: u64,
+    credits: u32,
+    kill_after: Option<u64>,
+    attempts: u32,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7172".to_string(),
+        subscriber: 1,
+        filter: 0,
+        resume_from: 0,
+        credits: 256,
+        kill_after: None,
+        attempts: 1,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        let parse = |name: &str, s: String| -> Result<u64, String> {
+            s.parse().map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--subscriber" => args.subscriber = parse("--subscriber", value("--subscriber")?)?,
+            "--filter" => args.filter = parse("--filter", value("--filter")?)? as u32,
+            "--resume-from" => args.resume_from = parse("--resume-from", value("--resume-from")?)?,
+            "--credits" => args.credits = parse("--credits", value("--credits")?)? as u32,
+            "--kill-after" => {
+                args.kill_after = Some(parse("--kill-after", value("--kill-after")?)?)
+            }
+            "--attempts" => args.attempts = parse("--attempts", value("--attempts")?)? as u32,
+            "--out" => args.out = Some(value("--out")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: lmerge-subscribe [--addr HOST:PORT] [--subscriber ID] \
+                     [--filter CLASS] [--resume-from SEQ] [--credits N] [--kill-after N] \
+                     [--attempts N] [--out FILE]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = SubscribeConfig::new(args.subscriber)
+        .with_filter(args.filter)
+        .with_resume_from(args.resume_from)
+        .with_credits(args.credits);
+    if let Some(n) = args.kill_after {
+        config = config.with_kill_after(n);
+    }
+
+    // A kill-after run with a single attempt is intentionally unclean;
+    // otherwise stitch reconnects until the stream finishes.
+    let result = if args.attempts <= 1 {
+        subscribe(&args.addr, &config)
+    } else {
+        subscribe_until_finished(&args.addr, &config, args.attempts)
+    };
+    let outcome = match result {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("subscribe failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "subscriber {}: {} frames (resumed from {}), {} attempt(s), {} demotion(s), \
+         clean={}, finished={}",
+        args.subscriber,
+        outcome.received,
+        outcome.resumed_from,
+        outcome.attempts,
+        outcome.demotions,
+        outcome.clean,
+        outcome.finished
+    );
+    if let Some(path) = &args.out {
+        match std::fs::File::create(path).and_then(|mut f| f.write_all(&outcome.bytes)) {
+            Ok(()) => println!("received stream written to {path}"),
+            Err(e) => {
+                eprintln!("write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if outcome.clean && outcome.finished {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

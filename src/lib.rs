@@ -50,6 +50,10 @@
 //! * [`net`] — wire protocol + TCP ingest/egress: physically independent
 //!   replicas feeding LMerge over real sockets, with credit backpressure,
 //!   crash/resume sessions, and a fault-injecting chaos proxy.
+//! * [`sub`] — shared incremental fan-out: an epoch-batched broadcast
+//!   buffer over the merged output, subscriber sessions with resume
+//!   cursors and credit backpressure (the ingest protocol mirrored), and
+//!   per-epoch shared filter bitmaps.
 
 pub use lmerge_chaos as chaos;
 pub use lmerge_core as core;
@@ -59,4 +63,5 @@ pub use lmerge_gen as gen;
 pub use lmerge_net as net;
 pub use lmerge_obs as obs;
 pub use lmerge_properties as properties;
+pub use lmerge_sub as sub;
 pub use lmerge_temporal as temporal;

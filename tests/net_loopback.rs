@@ -432,7 +432,10 @@ fn networked_restore_replays_frames_staged_at_the_kill() {
                 ));
             }
         }
-        v.push(TimedElement::new(VTime(600), Element::stable(Time::INFINITY)));
+        v.push(TimedElement::new(
+            VTime(600),
+            Element::stable(Time::INFINITY),
+        ));
         v
     };
 
